@@ -1,0 +1,312 @@
+//! Agreement-probability models under the optimal split attack
+//! (Figure 5, left column; paper §4.3 and Figure 4c).
+//!
+//! The adversary splits the correct replicas into halves Π¹_C, Π²_C and has
+//! every Byzantine replica double-vote, so each value `val_i` is supported
+//! by `r = f + (n−f)/2` replicas toward its half. A correct replica in
+//! Π¹_C decides `val1` only if
+//!
+//! 1. ≥ `q` of the `r` val1-supporters include it in their *prepare*
+//!    samples, and
+//! 2. ≥ `q` include it in their *commit* samples, and
+//! 3. **no** val2-carrying message reaches it first — any conflicting
+//!    leader-signed proposal blocks the view (Algorithm 1, lines 23–25).
+//!
+//! Condition 3 is what makes real violations so much rarer than the
+//! quorum-only analysis suggests: every correct replica in the opposite
+//! half multicasts its val2 Prepare/Commit to uniform samples, and a single
+//! hit suffices to blow the attack. The static model here requires zero
+//! contact (ignoring favourable message orderings in which a replica
+//! decides before the first conflicting message lands); the event-driven
+//! protocol simulator measures the timing-aware rate.
+
+use crate::binomial::ln_binomial_sf;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Parameters of an optimal-split agreement experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AgreementParams {
+    /// Population size.
+    pub n: usize,
+    /// Byzantine replicas (leader + double-voting helpers).
+    pub f: usize,
+    /// Probabilistic quorum size `q`.
+    pub q: usize,
+    /// Sample size `s`.
+    pub s: usize,
+}
+
+impl AgreementParams {
+    /// Builds params from the paper's `(n, f, l, o)` parameterisation.
+    pub fn from_paper(n: usize, f: usize, l: f64, o: f64) -> Self {
+        let q = (l * (n as f64).sqrt()).ceil() as usize;
+        let s = ((o * q as f64).ceil() as usize).min(n);
+        AgreementParams { n, f, q, s }
+    }
+
+    /// Supporters per side: `r = f + (n−f)/2`.
+    pub fn supporters_per_side(&self) -> usize {
+        self.f + (self.n - self.f) / 2
+    }
+
+    /// Correct replicas per side: `(n−f)/2`.
+    pub fn correct_per_side(&self) -> usize {
+        (self.n - self.f) / 2
+    }
+}
+
+/// Natural log of the per-replica probability of deciding its side's value
+/// in the static model (quorums formed, zero cross-contamination).
+pub fn ln_decide_one_side(p: AgreementParams) -> f64 {
+    let r = p.supporters_per_side() as u64;
+    let opposite = p.correct_per_side() as f64;
+    let incl = p.s as f64 / p.n as f64;
+
+    // Two quorums (prepare + commit) from this side's supporters.
+    let ln_quorums = 2.0 * ln_binomial_sf(r, incl, p.q as u64);
+    // Zero contact from the opposite side in either phase: each of the
+    // `opposite` correct replicas hits us with probability s/n per phase.
+    let ln_no_contact = 2.0 * opposite * (-incl).ln_1p();
+    ln_quorums + ln_no_contact
+}
+
+/// Per-view agreement-violation probability in the static model:
+/// `P[some replica in Π¹_C decides val1] · P[some in Π²_C decides val2]`,
+/// with per-side aggregation by union bound (the per-replica events are
+/// negatively associated, so the product is an upper envelope).
+pub fn violation_probability(p: AgreementParams) -> f64 {
+    let ln_single = ln_decide_one_side(p);
+    let per_side = ((p.correct_per_side() as f64).ln() + ln_single).exp();
+    (per_side * per_side).min(1.0)
+}
+
+/// Per-view agreement probability (`1 − violation`), the Figure 5 left-
+/// column series.
+pub fn agreement_probability(p: AgreementParams) -> f64 {
+    1.0 - violation_probability(p)
+}
+
+/// Ablation: the violation probability **without** the equivocation-
+/// detection rule (Algorithm 1 lines 23–25 disabled) — quorum formation is
+/// then the only obstacle to a split decision.
+///
+/// Comparing this against [`violation_probability`] quantifies how much of
+/// ProBFT's safety comes from detection versus from quorum statistics; the
+/// `ablation_parameters` bench binary prints the two side by side (the gap
+/// is tens of orders of magnitude at the paper's operating points).
+pub fn violation_probability_no_detection(p: AgreementParams) -> f64 {
+    let r = p.supporters_per_side() as u64;
+    let incl = p.s as f64 / p.n as f64;
+    let ln_single = 2.0 * ln_binomial_sf(r, incl, p.q as u64);
+    let per_side = ((p.correct_per_side() as f64).ln() + ln_single).exp().min(1.0);
+    (per_side * per_side).min(1.0)
+}
+
+/// The paper's own Chernoff-based Theorem 7 bound, where its premise
+/// (`r ≤ n/o`) holds.
+pub fn agreement_paper_bound(p: AgreementParams) -> Option<f64> {
+    crate::chernoff::theorem7_violation_upper_bound(
+        p.n,
+        p.f,
+        p.q as f64,
+        p.s as f64 / p.q as f64,
+    )
+    .map(|v| 1.0 - v)
+}
+
+/// Outcome counts of an agreement Monte Carlo run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AgreementTrials {
+    /// Total trials run.
+    pub trials: u32,
+    /// Trials in which both halves decided (safety violation).
+    pub violations: u32,
+    /// Trials in which at least one replica decided one value (no
+    /// violation).
+    pub one_sided_decisions: u32,
+    /// Trials in which no replica decided (view change, no harm done).
+    pub no_decision: u32,
+}
+
+/// Static Monte Carlo of the optimal split attack (quorum + contamination
+/// conditions, no message timing). Useful for validating the analytic
+/// model's quorum terms; violations themselves are usually too rare to
+/// observe, which the caller should report as `< 1/trials`.
+pub fn agreement_monte_carlo(p: AgreementParams, trials: u32, seed: u64) -> AgreementTrials {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = p.correct_per_side();
+    let r = p.supporters_per_side();
+    let mut out = AgreementTrials {
+        trials,
+        ..AgreementTrials::default()
+    };
+
+    // Replica layout: 0..half = Π¹_C, half..2·half = Π²_C, rest Byzantine
+    // (plus the odd leftover correct replica when n−f is odd, which the
+    // optimal attack leaves out of both halves — it receives both values
+    // and blocks).
+    let mut population: Vec<usize> = (0..p.n).collect();
+    for _ in 0..trials {
+        // contaminated[i]: received a message for the other side's value.
+        // counts[i]: per-phase supporting inclusions.
+        let mut prep = vec![0u32; 2 * half];
+        let mut comm = vec![0u32; 2 * half];
+        let mut contaminated = vec![false; 2 * half];
+
+        // Senders: for each side, r supporters multicast prepare+commit.
+        for side in 0..2 {
+            for sender in 0..r {
+                let sender_is_byz = sender >= half;
+                for counts in [&mut prep, &mut comm] {
+                    population.shuffle(&mut rng);
+                    for &t in &population[..p.s] {
+                        if t >= 2 * half {
+                            continue; // Byzantine or leftover target
+                        }
+                        let target_side = t / half;
+                        if target_side == side {
+                            counts[t] += 1;
+                        } else if !sender_is_byz {
+                            // Correct senders hit everyone in their sample;
+                            // a cross-side hit is contamination. Byzantine
+                            // senders omit cross-side messages.
+                            contaminated[t] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let decided = |i: usize| -> bool {
+            !contaminated[i] && prep[i] >= p.q as u32 && comm[i] >= p.q as u32
+        };
+        let side1 = (0..half).any(decided);
+        let side2 = (half..2 * half).any(decided);
+        if side1 && side2 {
+            out.violations += 1;
+        } else if side1 || side2 {
+            out.one_sided_decisions += 1;
+        } else {
+            out.no_decision += 1;
+        }
+    }
+    out
+}
+
+/// Sweep helper: evaluates `f(point)` over an inclusive integer range with
+/// a step, returning `(x, y)` pairs — the shape the figure binaries print.
+pub fn sweep<F: Fn(usize) -> f64>(range: std::ops::RangeInclusive<usize>, step: usize, f: F) -> Vec<(usize, f64)> {
+    assert!(step > 0, "step must be positive");
+    let mut out = Vec::new();
+    let mut x = *range.start();
+    while x <= *range.end() {
+        out.push((x, f(x)));
+        x += step;
+    }
+    out
+}
+
+/// Deterministically varies a seed per sweep point (so Monte Carlo points
+/// are independent but reproducible).
+pub fn point_seed(base: u64, x: usize) -> u64 {
+    let mut rng = StdRng::seed_from_u64(base ^ (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_point() -> AgreementParams {
+        AgreementParams::from_paper(100, 20, 2.0, 1.7)
+    }
+
+    #[test]
+    fn params_and_split_sizes() {
+        let p = paper_point();
+        assert_eq!(p.q, 20);
+        assert_eq!(p.s, 34);
+        assert_eq!(p.correct_per_side(), 40);
+        assert_eq!(p.supporters_per_side(), 60);
+    }
+
+    #[test]
+    fn violation_probability_is_tiny_at_paper_points() {
+        // Figure 5 left column: agreement ≥ 0.999 at every plotted point.
+        for f in [10, 20, 30] {
+            for o in [1.6, 1.7, 1.8] {
+                let p = AgreementParams::from_paper(100, f, 2.0, o);
+                let v = violation_probability(p);
+                assert!(v < 1e-3, "f={f} o={o}: violation {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_improves_with_n() {
+        let small = agreement_probability(AgreementParams::from_paper(100, 20, 2.0, 1.7));
+        let large = agreement_probability(AgreementParams::from_paper(300, 60, 2.0, 1.7));
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn agreement_improves_with_fewer_faults() {
+        let few = violation_probability(AgreementParams::from_paper(100, 10, 2.0, 1.7));
+        let many = violation_probability(AgreementParams::from_paper(100, 30, 2.0, 1.7));
+        assert!(few <= many, "{few} vs {many}");
+    }
+
+    #[test]
+    fn larger_o_improves_agreement() {
+        // More contamination per sender: harder to keep halves isolated.
+        let lo = violation_probability(AgreementParams::from_paper(100, 20, 2.0, 1.6));
+        let hi = violation_probability(AgreementParams::from_paper(100, 20, 2.0, 1.8));
+        assert!(hi <= lo, "{hi} vs {lo}");
+    }
+
+    #[test]
+    fn monte_carlo_sees_no_violations_at_paper_point() {
+        let p = paper_point();
+        let out = agreement_monte_carlo(p, 200, 7);
+        assert_eq!(out.trials, 200);
+        assert_eq!(
+            out.violations, 0,
+            "violation probability ~1e-12 must not appear in 200 trials"
+        );
+        assert_eq!(
+            out.violations + out.one_sided_decisions + out.no_decision,
+            out.trials
+        );
+    }
+
+    #[test]
+    fn monte_carlo_matches_quorum_term_when_contamination_disabled() {
+        // With s/n high the contamination term dominates and essentially no
+        // replica decides — the MC should report overwhelmingly
+        // no_decision.
+        let p = paper_point();
+        let out = agreement_monte_carlo(p, 100, 11);
+        assert!(out.no_decision > 90, "{out:?}");
+    }
+
+    #[test]
+    fn paper_bound_where_valid() {
+        // f/n = 0.1, o = 1.6 satisfies the Chernoff premise.
+        let p = AgreementParams::from_paper(100, 10, 2.0, 1.6);
+        let bound = agreement_paper_bound(p);
+        assert!(bound.is_some());
+        // The bound is loose: exact agreement must be at least it.
+        assert!(agreement_probability(p) >= bound.unwrap() - 1e-12);
+    }
+
+    #[test]
+    fn sweep_and_seed_helpers() {
+        let s = sweep(100..=300, 100, |n| n as f64);
+        assert_eq!(s, vec![(100, 100.0), (200, 200.0), (300, 300.0)]);
+        assert_ne!(point_seed(1, 100), point_seed(1, 200));
+        assert_eq!(point_seed(1, 100), point_seed(1, 100));
+    }
+}

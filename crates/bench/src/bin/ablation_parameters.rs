@@ -1,0 +1,113 @@
+//! Ablation study over ProBFT's design choices.
+//!
+//! ```text
+//! cargo run -p probft-bench --release --bin ablation_parameters
+//! ```
+//!
+//! Three ablations the paper's design discussion (§3.1) motivates but does
+//! not plot:
+//!
+//! 1. **Quorum multiplier `l`** — bigger quorums raise both agreement and
+//!    the message bill; `l = 2` (the paper's choice) sits at the knee.
+//! 2. **Overprovision `o`** — the paper's Figure 1b/5 trade-off, swept at
+//!    finer grain, including values outside Theorem 2's admissible range.
+//! 3. **Equivocation detection (lines 23–25)** — safety with the rule
+//!    removed, isolating how much of ProBFT's agreement probability comes
+//!    from detection rather than quorum statistics.
+
+use probft_analysis::agreement::{
+    violation_probability, violation_probability_no_detection, AgreementParams,
+};
+use probft_analysis::chernoff::theorem2_o_range;
+use probft_analysis::termination::{termination_exact, TerminationParams};
+use probft_bench::{fmt_count, print_row};
+
+fn main() {
+    let n = 100;
+    let f = 20;
+
+    println!("Ablation 1 — quorum multiplier l (n = {n}, f = {f}, o = 1.7)\n");
+    print_row(
+        "l",
+        &[
+            "q".into(),
+            "termination".into(),
+            "violation".into(),
+            "messages".into(),
+        ],
+    );
+    for l in [1.0, 1.5, 2.0, 2.5, 3.0] {
+        let t = TerminationParams::from_paper(n, f, l, 1.7);
+        let a = AgreementParams::from_paper(n, f, l, 1.7);
+        print_row(
+            &format!("{l:.1}"),
+            &[
+                t.q.to_string(),
+                format!("{:.4}", termination_exact(t)),
+                format!("{:.1e}", violation_probability(a)),
+                fmt_count(probft_analysis::probft_messages(n, l, 1.7)),
+            ],
+        );
+    }
+    println!("\n→ l controls the safety/cost knee: l = 1 is cheap but fragile");
+    println!("  (termination and agreement both suffer); beyond l = 2 the");
+    println!("  message bill grows with little safety left to buy.\n");
+
+    let (lo, hi) = theorem2_o_range(n, f);
+    println!(
+        "Ablation 2 — overprovision o (n = {n}, f = {f}, l = 2; Theorem 2 admits o ∈ [{lo:.2}, {hi:.2}])\n"
+    );
+    print_row(
+        "o",
+        &[
+            "s".into(),
+            "termination".into(),
+            "violation".into(),
+            "messages".into(),
+            "in range".into(),
+        ],
+    );
+    for o10 in [10u32, 12, 14, 16, 17, 18, 20, 24] {
+        let o = o10 as f64 / 10.0;
+        let t = TerminationParams::from_paper(n, f, 2.0, o);
+        let a = AgreementParams::from_paper(n, f, 2.0, o);
+        print_row(
+            &format!("{o:.1}"),
+            &[
+                t.s.to_string(),
+                format!("{:.4}", termination_exact(t)),
+                format!("{:.1e}", violation_probability(a)),
+                fmt_count(probft_analysis::probft_messages(n, 2.0, o)),
+                if (lo..=hi).contains(&o) { "yes" } else { "no" }.into(),
+            ],
+        );
+    }
+    println!("\n→ o < ~1.3 starves termination (samples too small to form");
+    println!("  quorums reliably); past ~1.8 extra messages buy little.\n");
+
+    println!("Ablation 3 — equivocation detection on/off (l = 2, o = 1.7)\n");
+    print_row(
+        "n / f",
+        &[
+            "violation (full)".into(),
+            "violation (no detect)".into(),
+            "factor".into(),
+        ],
+    );
+    for (n, f) in [(100, 20), (100, 30), (200, 40), (300, 60)] {
+        let p = AgreementParams::from_paper(n, f, 2.0, 1.7);
+        let full = violation_probability(p);
+        let nodet = violation_probability_no_detection(p);
+        print_row(
+            &format!("{n} / {f}"),
+            &[
+                format!("{full:.1e}"),
+                format!("{nodet:.1e}"),
+                format!("{:.1e}", nodet / full.max(f64::MIN_POSITIVE)),
+            ],
+        );
+    }
+    println!("\n→ without lines 23–25 the split attack succeeds with");
+    println!("  non-negligible probability; detection contributes the bulk");
+    println!("  of ProBFT's practical safety margin.");
+}

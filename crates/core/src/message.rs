@@ -1,0 +1,962 @@
+//! ProBFT message types: `Propose`, `Prepare`, `Commit`, `NewLeader`, and
+//! the synchronizer's `Wish`.
+//!
+//! Every message is signed by its *signer*, which may differ from the
+//! transport-level sender: line 25 of Algorithm 1 has replicas re-broadcast
+//! a conflicting message verbatim to expose leader equivocation, so
+//! verification always runs against the signer recorded inside the message.
+//!
+//! `Prepare` and `Commit` additionally carry the sender's VRF-selected
+//! recipient sample and its proof (`S, P` in Algorithm 1 lines 15–16 and
+//! 19–20); receivers verify both that the proof is valid *and* that they are
+//! themselves members of the sample (preconditions of lines 17 and 21).
+
+use crate::config::{ProbftConfig, View};
+use crate::error::RejectReason;
+use crate::sampling::{self, Phase};
+use crate::value::Value;
+use crate::wire::{put, Reader, Wire, WireError};
+use probft_crypto::keyring::PublicKeyring;
+use probft_crypto::schnorr::{Signature, SigningKey, SIGNATURE_LEN};
+use probft_crypto::sha256::Digest;
+use probft_crypto::vrf::{VrfProof, VRF_PROOF_LEN};
+use probft_quorum::ReplicaId;
+use probft_simnet::metrics::Measurable;
+
+/// Context needed to verify any message: protocol parameters plus the
+/// public keys of the population.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyCtx<'a> {
+    /// The instance configuration.
+    pub cfg: &'a ProbftConfig,
+    /// Public keys of all replicas.
+    pub keys: &'a PublicKeyring,
+}
+
+impl<'a> VerifyCtx<'a> {
+    /// Creates a verification context.
+    pub fn new(cfg: &'a ProbftConfig, keys: &'a PublicKeyring) -> Self {
+        VerifyCtx { cfg, keys }
+    }
+
+    fn key_of(&self, id: ReplicaId) -> Result<&'a probft_crypto::VerifyingKey, RejectReason> {
+        self.keys
+            .verifying_key(id.index())
+            .map_err(|_| RejectReason::UnknownSender(id))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SignedProposal — the leader-signed ⟨v, x⟩_j unit.
+// ---------------------------------------------------------------------------
+
+/// The leader-signed proposal `⟨v, x⟩_j` embedded in `Propose`, `Prepare`,
+/// and `Commit` messages.
+///
+/// Because only the leader of `v` can produce this signature, two distinct
+/// `SignedProposal`s for the same view are *proof of equivocation* (used by
+/// lines 23–25 of Algorithm 1).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SignedProposal {
+    /// The view this proposal belongs to.
+    pub view: View,
+    /// The proposed value.
+    pub value: Value,
+    /// The signer — must be `leader(view)`.
+    pub leader: ReplicaId,
+    /// The leader's signature over `(view, value)`.
+    pub signature: Signature,
+}
+
+impl SignedProposal {
+    fn signing_bytes(view: View, value: &Value, leader: ReplicaId) -> Vec<u8> {
+        let mut out = b"probft-proposal|".to_vec();
+        put::u64(&mut out, view.0);
+        put::u32(&mut out, leader.0);
+        value.encode(&mut out);
+        out
+    }
+
+    /// Creates and signs a proposal as `leader` for `view`.
+    pub fn sign(sk: &SigningKey, leader: ReplicaId, view: View, value: Value) -> Self {
+        let signature = sk.sign(&Self::signing_bytes(view, &value, leader));
+        SignedProposal {
+            view,
+            value,
+            leader,
+            signature,
+        }
+    }
+
+    /// Verifies the leader signature and that the signer leads the view.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::WrongLeader`] if the signer does not lead `view`;
+    /// [`RejectReason::BadProposalSignature`] on signature failure.
+    pub fn verify(&self, ctx: &VerifyCtx<'_>) -> Result<(), RejectReason> {
+        if ctx.cfg.leader_of(self.view) != self.leader {
+            return Err(RejectReason::WrongLeader {
+                view: self.view,
+                claimed: self.leader,
+            });
+        }
+        let pk = ctx.key_of(self.leader)?;
+        pk.verify(
+            &Self::signing_bytes(self.view, &self.value, self.leader),
+            &self.signature,
+        )
+        .map_err(|_| RejectReason::BadProposalSignature)
+    }
+
+    /// The `(view, value-digest)` pair used as a quorum matching key.
+    pub fn matching_key(&self) -> (View, Digest) {
+        (self.view, self.value.digest())
+    }
+}
+
+impl Wire for SignedProposal {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put::u64(out, self.view.0);
+        put::u32(out, self.leader.0);
+        self.value.encode(out);
+        out.extend_from_slice(&self.signature.to_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let view = View(r.u64()?);
+        let leader = ReplicaId(r.u32()?);
+        let value = Value::decode(r)?;
+        let signature = Signature::from_bytes(r.array::<SIGNATURE_LEN>()?)
+            .ok_or(WireError::BadCrypto("proposal signature"))?;
+        Ok(SignedProposal {
+            view,
+            value,
+            leader,
+            signature,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepare / Commit — sample-multicast phase messages.
+// ---------------------------------------------------------------------------
+
+/// A phase message: `⟨Prepare/Commit, ⟨v, x⟩_j, S, P⟩_i` (lines 16 and 20).
+///
+/// `Prepare` and `Commit` share this structure; they differ only in the
+/// phase tag, which changes the VRF seed and therefore the valid sample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseMessage {
+    /// The signer `i`.
+    pub sender: ReplicaId,
+    /// The leader-signed proposal this vote supports.
+    pub proposal: SignedProposal,
+    /// The sender's VRF-selected recipient sample `S`.
+    pub sample: Vec<ReplicaId>,
+    /// The VRF proof `P` binding `S` to `(sender, view, phase)`.
+    pub proof: VrfProof,
+    /// The sender's signature over all of the above.
+    pub signature: Signature,
+}
+
+impl PhaseMessage {
+    fn signing_bytes(
+        phase: Phase,
+        sender: ReplicaId,
+        proposal: &SignedProposal,
+        sample: &[ReplicaId],
+        proof: &VrfProof,
+    ) -> Vec<u8> {
+        let mut out = match phase {
+            Phase::Prepare => b"probft-prepare|".to_vec(),
+            Phase::Commit => b"probft-commit|".to_vec(),
+        };
+        put::u32(&mut out, sender.0);
+        proposal.encode(&mut out);
+        put::u64(&mut out, sample.len() as u64);
+        for id in sample {
+            put::u32(&mut out, id.0);
+        }
+        out.extend_from_slice(&proof.to_bytes());
+        out
+    }
+
+    /// Creates and signs a phase message.
+    pub fn sign(
+        sk: &SigningKey,
+        phase: Phase,
+        sender: ReplicaId,
+        proposal: SignedProposal,
+        sample: Vec<ReplicaId>,
+        proof: VrfProof,
+    ) -> Self {
+        let signature = sk.sign(&Self::signing_bytes(
+            phase, sender, &proposal, &sample, &proof,
+        ));
+        PhaseMessage {
+            sender,
+            proposal,
+            sample,
+            proof,
+            signature,
+        }
+    }
+
+    /// Full verification: outer signature, inner proposal, and VRF sample.
+    ///
+    /// Does **not** check receiver sample membership — that is a property of
+    /// a specific receiver, checked by [`PhaseMessage::includes`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`RejectReason`] describing the first failed check.
+    pub fn verify(&self, phase: Phase, ctx: &VerifyCtx<'_>) -> Result<(), RejectReason> {
+        self.proposal.verify(ctx)?;
+        let pk = ctx.key_of(self.sender)?;
+        pk.verify(
+            &Self::signing_bytes(phase, self.sender, &self.proposal, &self.sample, &self.proof),
+            &self.signature,
+        )
+        .map_err(|_| RejectReason::BadSignature)?;
+        let ok = sampling::verify_sample(
+            pk,
+            self.proposal.view,
+            phase,
+            ctx.cfg.sample_size(),
+            ctx.cfg.n(),
+            &self.sample,
+            &self.proof,
+        );
+        if ok {
+            Ok(())
+        } else {
+            Err(RejectReason::BadVrfProof)
+        }
+    }
+
+    /// Whether `id` is a member of the sample (precondition `i ∈ S`).
+    pub fn includes(&self, id: ReplicaId) -> bool {
+        self.sample.contains(&id)
+    }
+}
+
+impl Wire for PhaseMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put::u32(out, self.sender.0);
+        self.proposal.encode(out);
+        put::u64(out, self.sample.len() as u64);
+        for id in &self.sample {
+            put::u32(out, id.0);
+        }
+        out.extend_from_slice(&self.proof.to_bytes());
+        out.extend_from_slice(&self.signature.to_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let sender = ReplicaId(r.u32()?);
+        let proposal = SignedProposal::decode(r)?;
+        let count = r.len_prefix()?;
+        let mut sample = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            sample.push(ReplicaId(r.u32()?));
+        }
+        let proof = VrfProof::from_bytes(r.array::<VRF_PROOF_LEN>()?)
+            .ok_or(WireError::BadCrypto("vrf proof"))?;
+        let signature = Signature::from_bytes(r.array::<SIGNATURE_LEN>()?)
+            .ok_or(WireError::BadCrypto("signature"))?;
+        Ok(PhaseMessage {
+            sender,
+            proposal,
+            sample,
+            proof,
+            signature,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NewLeader — view-change report to the incoming leader.
+// ---------------------------------------------------------------------------
+
+/// `⟨NewLeader, v, preparedView, preparedVal, cert⟩_i` (line 5).
+///
+/// Reports the sender's latest prepared value (if any) to the leader of the
+/// new view `v`, carrying the prepared certificate — a probabilistic quorum
+/// of `Prepare` messages — as evidence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NewLeader {
+    /// The signer.
+    pub sender: ReplicaId,
+    /// The view being entered.
+    pub view: View,
+    /// The view in which the sender last prepared a value
+    /// ([`View::NONE`] if it never prepared).
+    pub prepared_view: View,
+    /// The prepared value, if any.
+    pub prepared_value: Option<Value>,
+    /// The prepared certificate: `q` Prepare messages for
+    /// `(prepared_view, prepared_value)` that all include the sender.
+    pub cert: Vec<PhaseMessage>,
+    /// The sender's signature.
+    pub signature: Signature,
+}
+
+impl NewLeader {
+    fn signing_bytes(
+        sender: ReplicaId,
+        view: View,
+        prepared_view: View,
+        prepared_value: &Option<Value>,
+        cert: &[PhaseMessage],
+    ) -> Vec<u8> {
+        let mut out = b"probft-newleader|".to_vec();
+        put::u32(&mut out, sender.0);
+        put::u64(&mut out, view.0);
+        put::u64(&mut out, prepared_view.0);
+        match prepared_value {
+            Some(v) => {
+                out.push(1);
+                v.encode(&mut out);
+            }
+            None => out.push(0),
+        }
+        put::u64(&mut out, cert.len() as u64);
+        for p in cert {
+            p.encode(&mut out);
+        }
+        out
+    }
+
+    /// Creates and signs a NewLeader message.
+    pub fn sign(
+        sk: &SigningKey,
+        sender: ReplicaId,
+        view: View,
+        prepared_view: View,
+        prepared_value: Option<Value>,
+        cert: Vec<PhaseMessage>,
+    ) -> Self {
+        let signature = sk.sign(&Self::signing_bytes(
+            sender,
+            view,
+            prepared_view,
+            &prepared_value,
+            &cert,
+        ));
+        NewLeader {
+            sender,
+            view,
+            prepared_view,
+            prepared_value,
+            cert,
+            signature,
+        }
+    }
+
+    /// Verifies the outer signature (the semantic `validNewLeader` check
+    /// lives in [`crate::predicates`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::BadSignature`] or [`RejectReason::UnknownSender`].
+    pub fn verify(&self, ctx: &VerifyCtx<'_>) -> Result<(), RejectReason> {
+        let pk = ctx.key_of(self.sender)?;
+        pk.verify(
+            &Self::signing_bytes(
+                self.sender,
+                self.view,
+                self.prepared_view,
+                &self.prepared_value,
+                &self.cert,
+            ),
+            &self.signature,
+        )
+        .map_err(|_| RejectReason::BadSignature)
+    }
+}
+
+impl Wire for NewLeader {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put::u32(out, self.sender.0);
+        put::u64(out, self.view.0);
+        put::u64(out, self.prepared_view.0);
+        match &self.prepared_value {
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+            None => out.push(0),
+        }
+        put::u64(out, self.cert.len() as u64);
+        for p in &self.cert {
+            p.encode(out);
+        }
+        out.extend_from_slice(&self.signature.to_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let sender = ReplicaId(r.u32()?);
+        let view = View(r.u64()?);
+        let prepared_view = View(r.u64()?);
+        let prepared_value = match r.u8()? {
+            0 => None,
+            1 => Some(Value::decode(r)?),
+            t => return Err(WireError::UnknownTag(t)),
+        };
+        let count = r.len_prefix()?;
+        let mut cert = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            cert.push(PhaseMessage::decode(r)?);
+        }
+        let signature = Signature::from_bytes(r.array::<SIGNATURE_LEN>()?)
+            .ok_or(WireError::BadCrypto("signature"))?;
+        Ok(NewLeader {
+            sender,
+            view,
+            prepared_view,
+            prepared_value,
+            cert,
+            signature,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Propose — the leader's proposal broadcast.
+// ---------------------------------------------------------------------------
+
+/// `⟨Propose, ⟨v, x⟩_i, M⟩_i` (lines 3, 10, 12).
+///
+/// In view 1 the justification `M` is empty; in later views it must contain
+/// a deterministic quorum of [`NewLeader`] messages proving the proposal
+/// respects earlier (probable) decisions — checked by `safeProposal`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Propose {
+    /// The leader-signed proposal.
+    pub proposal: SignedProposal,
+    /// The justification set `M` of NewLeader messages.
+    pub justification: Vec<NewLeader>,
+    /// The leader's outer signature over proposal and justification.
+    pub signature: Signature,
+}
+
+impl Propose {
+    fn signing_bytes(proposal: &SignedProposal, justification: &[NewLeader]) -> Vec<u8> {
+        let mut out = b"probft-propose|".to_vec();
+        proposal.encode(&mut out);
+        put::u64(&mut out, justification.len() as u64);
+        for m in justification {
+            m.encode(&mut out);
+        }
+        out
+    }
+
+    /// Creates and signs a Propose as the leader.
+    pub fn sign(sk: &SigningKey, proposal: SignedProposal, justification: Vec<NewLeader>) -> Self {
+        let signature = sk.sign(&Self::signing_bytes(&proposal, &justification));
+        Propose {
+            proposal,
+            justification,
+            signature,
+        }
+    }
+
+    /// Verifies leader identity and both signatures (plus the signatures of
+    /// all justification messages).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RejectReason`] describing the first failed check.
+    pub fn verify(&self, ctx: &VerifyCtx<'_>) -> Result<(), RejectReason> {
+        self.proposal.verify(ctx)?;
+        let pk = ctx.key_of(self.proposal.leader)?;
+        pk.verify(
+            &Self::signing_bytes(&self.proposal, &self.justification),
+            &self.signature,
+        )
+        .map_err(|_| RejectReason::BadSignature)?;
+        for m in &self.justification {
+            m.verify(ctx)?;
+        }
+        Ok(())
+    }
+
+    /// The view this Propose belongs to.
+    pub fn view(&self) -> View {
+        self.proposal.view
+    }
+}
+
+impl Wire for Propose {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.proposal.encode(out);
+        put::u64(out, self.justification.len() as u64);
+        for m in &self.justification {
+            m.encode(out);
+        }
+        out.extend_from_slice(&self.signature.to_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let proposal = SignedProposal::decode(r)?;
+        let count = r.len_prefix()?;
+        let mut justification = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            justification.push(NewLeader::decode(r)?);
+        }
+        let signature = Signature::from_bytes(r.array::<SIGNATURE_LEN>()?)
+            .ok_or(WireError::BadCrypto("signature"))?;
+        Ok(Propose {
+            proposal,
+            justification,
+            signature,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wish — synchronizer view-advancement vote.
+// ---------------------------------------------------------------------------
+
+/// A synchronizer message: the sender wishes to enter `view`.
+///
+/// Part of the Bravo–Chockler–Gotsman synchronizer abstraction the paper
+/// builds on (§3.2): `f+1` wishes for a view are amplified, `2f+1` wishes
+/// trigger entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Wish {
+    /// The signer.
+    pub sender: ReplicaId,
+    /// The wished-for view.
+    pub view: View,
+    /// The sender's signature.
+    pub signature: Signature,
+}
+
+impl Wish {
+    fn signing_bytes(sender: ReplicaId, view: View) -> Vec<u8> {
+        let mut out = b"probft-wish|".to_vec();
+        put::u32(&mut out, sender.0);
+        put::u64(&mut out, view.0);
+        out
+    }
+
+    /// Creates and signs a wish.
+    pub fn sign(sk: &SigningKey, sender: ReplicaId, view: View) -> Self {
+        let signature = sk.sign(&Self::signing_bytes(sender, view));
+        Wish {
+            sender,
+            view,
+            signature,
+        }
+    }
+
+    /// Verifies the signature.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::BadSignature`] or [`RejectReason::UnknownSender`].
+    pub fn verify(&self, ctx: &VerifyCtx<'_>) -> Result<(), RejectReason> {
+        let pk = ctx.key_of(self.sender)?;
+        pk.verify(&Self::signing_bytes(self.sender, self.view), &self.signature)
+            .map_err(|_| RejectReason::BadSignature)
+    }
+}
+
+impl Wire for Wish {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put::u32(out, self.sender.0);
+        put::u64(out, self.view.0);
+        out.extend_from_slice(&self.signature.to_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let sender = ReplicaId(r.u32()?);
+        let view = View(r.u64()?);
+        let signature = Signature::from_bytes(r.array::<SIGNATURE_LEN>()?)
+            .ok_or(WireError::BadCrypto("signature"))?;
+        Ok(Wish {
+            sender,
+            view,
+            signature,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Message — the transport envelope.
+// ---------------------------------------------------------------------------
+
+/// Any ProBFT protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Leader proposal (propose phase).
+    Propose(Propose),
+    /// Prepare-phase vote multicast to a VRF sample.
+    Prepare(PhaseMessage),
+    /// Commit-phase vote multicast to a VRF sample.
+    Commit(PhaseMessage),
+    /// View-change report to the incoming leader.
+    NewLeader(NewLeader),
+    /// Synchronizer view-advancement vote.
+    Wish(Wish),
+}
+
+impl Message {
+    /// The leader-signed proposal embedded in this message, if any.
+    ///
+    /// This is the `⟨v, x⟩_j` unit that lines 23–25 of Algorithm 1 compare
+    /// against `curVal` to detect equivocation; `NewLeader` and `Wish`
+    /// carry no current-view proposal.
+    pub fn embedded_proposal(&self) -> Option<&SignedProposal> {
+        match self {
+            Message::Propose(p) => Some(&p.proposal),
+            Message::Prepare(p) | Message::Commit(p) => Some(&p.proposal),
+            Message::NewLeader(_) | Message::Wish(_) => None,
+        }
+    }
+
+    /// The view this message belongs to.
+    pub fn view(&self) -> View {
+        match self {
+            Message::Propose(p) => p.proposal.view,
+            Message::Prepare(p) | Message::Commit(p) => p.proposal.view,
+            Message::NewLeader(m) => m.view,
+            Message::Wish(w) => w.view,
+        }
+    }
+
+    /// The replica that signed (authored) this message.
+    pub fn signer(&self) -> ReplicaId {
+        match self {
+            Message::Propose(p) => p.proposal.leader,
+            Message::Prepare(p) | Message::Commit(p) => p.sender,
+            Message::NewLeader(m) => m.sender,
+            Message::Wish(w) => w.sender,
+        }
+    }
+
+    /// Full cryptographic verification of the message.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RejectReason`] describing the first failed check.
+    pub fn verify(&self, ctx: &VerifyCtx<'_>) -> Result<(), RejectReason> {
+        match self {
+            Message::Propose(p) => p.verify(ctx),
+            Message::Prepare(p) => p.verify(Phase::Prepare, ctx),
+            Message::Commit(p) => p.verify(Phase::Commit, ctx),
+            Message::NewLeader(m) => m.verify(ctx),
+            Message::Wish(w) => w.verify(ctx),
+        }
+    }
+}
+
+impl Wire for Message {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Propose(p) => {
+                out.push(1);
+                p.encode(out);
+            }
+            Message::Prepare(p) => {
+                out.push(2);
+                p.encode(out);
+            }
+            Message::Commit(p) => {
+                out.push(3);
+                p.encode(out);
+            }
+            Message::NewLeader(m) => {
+                out.push(4);
+                m.encode(out);
+            }
+            Message::Wish(w) => {
+                out.push(5);
+                w.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            1 => Ok(Message::Propose(Propose::decode(r)?)),
+            2 => Ok(Message::Prepare(PhaseMessage::decode(r)?)),
+            3 => Ok(Message::Commit(PhaseMessage::decode(r)?)),
+            4 => Ok(Message::NewLeader(NewLeader::decode(r)?)),
+            5 => Ok(Message::Wish(Wish::decode(r)?)),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+impl Measurable for Message {
+    fn kind(&self) -> &'static str {
+        match self {
+            Message::Propose(_) => "Propose",
+            Message::Prepare(_) => "Prepare",
+            Message::Commit(_) => "Commit",
+            Message::NewLeader(_) => "NewLeader",
+            Message::Wish(_) => "Wish",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        self.to_wire_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probft_crypto::keyring::Keyring;
+
+    fn setup(n: usize) -> (ProbftConfig, Keyring) {
+        let cfg = ProbftConfig::builder(n).build();
+        let ring = Keyring::generate(n, b"msg-test");
+        (cfg, ring)
+    }
+
+    fn proposal(cfg: &ProbftConfig, ring: &Keyring, view: View, tag: u64) -> SignedProposal {
+        let leader = cfg.leader_of(view);
+        SignedProposal::sign(
+            ring.signing_key(leader.index()).unwrap(),
+            leader,
+            view,
+            Value::from_tag(tag),
+        )
+    }
+
+    #[test]
+    fn signed_proposal_verifies() {
+        let (cfg, ring) = setup(4);
+        let p = proposal(&cfg, &ring, View(1), 7);
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(p.verify(&ctx).is_ok());
+    }
+
+    #[test]
+    fn non_leader_proposal_rejected() {
+        let (cfg, ring) = setup(4);
+        // Replica 2 signs a proposal for view 1, whose leader is replica 0.
+        let p = SignedProposal::sign(
+            ring.signing_key(2).unwrap(),
+            ReplicaId(2),
+            View(1),
+            Value::from_tag(1),
+        );
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert_eq!(
+            p.verify(&ctx),
+            Err(RejectReason::WrongLeader {
+                view: View(1),
+                claimed: ReplicaId(2)
+            })
+        );
+    }
+
+    #[test]
+    fn forged_proposal_signature_rejected() {
+        let (cfg, ring) = setup(4);
+        let mut p = proposal(&cfg, &ring, View(1), 7);
+        p.value = Value::from_tag(8); // tamper after signing
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert_eq!(p.verify(&ctx), Err(RejectReason::BadProposalSignature));
+    }
+
+    #[test]
+    fn prepare_round_trip_and_verify() {
+        let (cfg, ring) = setup(16);
+        let p = proposal(&cfg, &ring, View(1), 1);
+        let sender = ReplicaId(3);
+        let sk = ring.signing_key(3).unwrap();
+        let (sample, proof) = crate::sampling::derive_sample(
+            sk,
+            View(1),
+            Phase::Prepare,
+            cfg.sample_size(),
+            cfg.n(),
+        );
+        let msg = PhaseMessage::sign(sk, Phase::Prepare, sender, p, sample, proof);
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(msg.verify(Phase::Prepare, &ctx).is_ok());
+        // Same message fails commit-phase verification (different seed).
+        assert_eq!(
+            msg.verify(Phase::Commit, &ctx),
+            Err(RejectReason::BadSignature)
+        );
+
+        let wire = Message::Prepare(msg.clone());
+        let decoded = Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap();
+        assert_eq!(decoded, wire);
+    }
+
+    #[test]
+    fn forged_sample_rejected() {
+        let (cfg, ring) = setup(16);
+        let p = proposal(&cfg, &ring, View(1), 1);
+        let sk = ring.signing_key(3).unwrap();
+        let (mut sample, proof) = crate::sampling::derive_sample(
+            sk,
+            View(1),
+            Phase::Prepare,
+            cfg.sample_size(),
+            cfg.n(),
+        );
+        // Byzantine trick: claim a different recipient set, re-sign honestly.
+        let outsider = (0..16u32)
+            .map(ReplicaId)
+            .find(|id| !sample.contains(id))
+            .unwrap();
+        sample[0] = outsider;
+        let msg = PhaseMessage::sign(sk, Phase::Prepare, ReplicaId(3), p, sample, proof);
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert_eq!(
+            msg.verify(Phase::Prepare, &ctx),
+            Err(RejectReason::BadVrfProof)
+        );
+    }
+
+    #[test]
+    fn propose_with_justification_round_trips() {
+        let (cfg, ring) = setup(4);
+        // View 2: leader is replica 1; all replicas report nothing prepared.
+        let justification: Vec<NewLeader> = (0..3)
+            .map(|i| {
+                NewLeader::sign(
+                    ring.signing_key(i).unwrap(),
+                    ReplicaId::from(i),
+                    View(2),
+                    View::NONE,
+                    None,
+                    vec![],
+                )
+            })
+            .collect();
+        let p = proposal(&cfg, &ring, View(2), 9);
+        let propose = Propose::sign(ring.signing_key(1).unwrap(), p, justification);
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(propose.verify(&ctx).is_ok());
+
+        let wire = Message::Propose(propose);
+        let decoded = Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap();
+        assert_eq!(decoded, wire);
+    }
+
+    #[test]
+    fn tampered_justification_rejected() {
+        let (cfg, ring) = setup(4);
+        let mut nl = NewLeader::sign(
+            ring.signing_key(0).unwrap(),
+            ReplicaId(0),
+            View(2),
+            View::NONE,
+            None,
+            vec![],
+        );
+        nl.prepared_view = View(1); // tamper
+        let p = proposal(&cfg, &ring, View(2), 9);
+        let propose = Propose::sign(ring.signing_key(1).unwrap(), p, vec![nl]);
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert_eq!(propose.verify(&ctx), Err(RejectReason::BadSignature));
+    }
+
+    #[test]
+    fn wish_round_trip() {
+        let (cfg, ring) = setup(4);
+        let w = Wish::sign(ring.signing_key(2).unwrap(), ReplicaId(2), View(5));
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(w.verify(&ctx).is_ok());
+        let wire = Message::Wish(w);
+        assert_eq!(Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap(), wire);
+    }
+
+    #[test]
+    fn new_leader_with_cert_round_trips() {
+        let (cfg, ring) = setup(16);
+        let p = proposal(&cfg, &ring, View(1), 1);
+        let cert: Vec<PhaseMessage> = (0..3)
+            .map(|i| {
+                let sk = ring.signing_key(i).unwrap();
+                let (sample, proof) = crate::sampling::derive_sample(
+                    sk,
+                    View(1),
+                    Phase::Prepare,
+                    cfg.sample_size(),
+                    cfg.n(),
+                );
+                PhaseMessage::sign(sk, Phase::Prepare, ReplicaId::from(i), p.clone(), sample, proof)
+            })
+            .collect();
+        let nl = NewLeader::sign(
+            ring.signing_key(5).unwrap(),
+            ReplicaId(5),
+            View(2),
+            View(1),
+            Some(Value::from_tag(1)),
+            cert,
+        );
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(nl.verify(&ctx).is_ok());
+        let wire = Message::NewLeader(nl);
+        assert_eq!(Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap(), wire);
+    }
+
+    #[test]
+    fn message_accessors() {
+        let (cfg, ring) = setup(4);
+        let p = proposal(&cfg, &ring, View(1), 7);
+        let propose = Propose::sign(ring.signing_key(0).unwrap(), p.clone(), vec![]);
+        let msg = Message::Propose(propose);
+        assert_eq!(msg.view(), View(1));
+        assert_eq!(msg.signer(), ReplicaId(0));
+        assert_eq!(msg.embedded_proposal(), Some(&p));
+        assert_eq!(msg.kind(), "Propose");
+        assert!(msg.wire_size() > 0);
+
+        let w = Message::Wish(Wish::sign(ring.signing_key(1).unwrap(), ReplicaId(1), View(2)));
+        assert_eq!(w.embedded_proposal(), None);
+        assert_eq!(w.kind(), "Wish");
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        assert_eq!(
+            Message::from_wire_bytes(&[9]),
+            Err(WireError::UnknownTag(9))
+        );
+    }
+
+    #[test]
+    fn relayed_message_still_verifies() {
+        // Line 25: a replica re-broadcasts another replica's message; the
+        // embedded signer (not the transport sender) must validate.
+        let (cfg, ring) = setup(16);
+        let p = proposal(&cfg, &ring, View(1), 1);
+        let sk = ring.signing_key(3).unwrap();
+        let (sample, proof) = crate::sampling::derive_sample(
+            sk,
+            View(1),
+            Phase::Prepare,
+            cfg.sample_size(),
+            cfg.n(),
+        );
+        let msg = Message::Prepare(PhaseMessage::sign(
+            sk,
+            Phase::Prepare,
+            ReplicaId(3),
+            p,
+            sample,
+            proof,
+        ));
+        // Decode as if received from a relay, then verify.
+        let relayed = Message::from_wire_bytes(&msg.to_wire_bytes()).unwrap();
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(relayed.verify(&ctx).is_ok());
+        assert_eq!(relayed.signer(), ReplicaId(3));
+    }
+}

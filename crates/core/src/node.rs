@@ -1,0 +1,78 @@
+//! The simulation node: an honest [`Replica`] or a [`ByzantineReplica`].
+//!
+//! The simulator runs a homogeneous process type; `Node` is the sum of the
+//! two behaviours, delegating events and exposing typed inspection for the
+//! experiment harness.
+
+use crate::byzantine::ByzantineReplica;
+use crate::message::Message;
+use crate::replica::{Decision, Replica, ReplicaStats};
+use probft_simnet::process::{Context, Process, ProcessId, TimerToken};
+use std::fmt;
+
+/// A simulated protocol participant.
+pub enum Node {
+    /// A correct replica following Algorithm 1.
+    Honest(Box<Replica>),
+    /// A faulty replica following a fixed Byzantine strategy.
+    Byzantine(Box<ByzantineReplica>),
+}
+
+impl Node {
+    /// Whether this node runs the honest protocol.
+    pub fn is_honest(&self) -> bool {
+        matches!(self, Node::Honest(_))
+    }
+
+    /// The honest replica, if this node is honest.
+    pub fn as_honest(&self) -> Option<&Replica> {
+        match self {
+            Node::Honest(r) => Some(r),
+            Node::Byzantine(_) => None,
+        }
+    }
+
+    /// The decision of an honest node (Byzantine nodes never "decide").
+    pub fn decision(&self) -> Option<&Decision> {
+        self.as_honest().and_then(Replica::decision)
+    }
+
+    /// Stats of an honest node.
+    pub fn stats(&self) -> Option<&ReplicaStats> {
+        self.as_honest().map(Replica::stats)
+    }
+}
+
+impl Process for Node {
+    type Message = Message;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Message>) {
+        match self {
+            Node::Honest(r) => r.on_start(ctx),
+            Node::Byzantine(b) => b.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Message, ctx: &mut Context<'_, Message>) {
+        match self {
+            Node::Honest(r) => r.on_message(from, msg, ctx),
+            Node::Byzantine(b) => b.on_message(from, msg, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Message>) {
+        match self {
+            Node::Honest(r) => r.on_timer(token, ctx),
+            Node::Byzantine(b) => b.on_timer(token, ctx),
+        }
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Honest(r) => write!(f, "Node::Honest({r:?})"),
+            Node::Byzantine(b) => write!(f, "Node::Byzantine({b:?})"),
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! The three protocol predicates of Algorithm 1: `prepared`,
+//! `validNewLeader`, and `safeProposal`, plus the leader's
+//! proposal-selection rule (lines 7–12).
+//!
+//! These are pure functions over messages and the verification context, so
+//! they can be exhaustively unit-tested away from the event loop — and the
+//! leader's selection rule and the validators' `safeProposal` re-check are
+//! literally the same code, which is what the paper's "redoing the leader's
+//! computation" requires.
+
+use crate::config::View;
+use crate::message::{NewLeader, PhaseMessage, Propose, VerifyCtx};
+use crate::sampling::Phase;
+use crate::value::Value;
+use probft_crypto::sha256::Digest;
+use probft_quorum::ReplicaId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The `prepared(C, v, x, j)` predicate (§3.2).
+///
+/// True iff `cert` contains Prepare messages from at least `q` distinct
+/// replicas, each cryptographically valid, each for the leader-signed
+/// proposal `(view, value)`, and each whose recipient sample contains the
+/// certificate holder `j`.
+pub fn prepared(
+    cert: &[PhaseMessage],
+    view: View,
+    value: &Value,
+    holder: ReplicaId,
+    ctx: &VerifyCtx<'_>,
+) -> bool {
+    if view.is_none() {
+        return false;
+    }
+    let q = ctx.cfg.probabilistic_quorum();
+    let digest = value.digest();
+    let mut senders: BTreeSet<ReplicaId> = BTreeSet::new();
+    for msg in cert {
+        if msg.proposal.view != view || msg.proposal.value.digest() != digest {
+            continue;
+        }
+        if !msg.includes(holder) {
+            continue;
+        }
+        if msg.verify(Phase::Prepare, ctx).is_err() {
+            continue;
+        }
+        senders.insert(msg.sender);
+    }
+    senders.len() >= q
+}
+
+/// The `validNewLeader(m)` predicate (§3.2).
+///
+/// A NewLeader message is valid if it reports a prepared view strictly
+/// before the view being entered, and — when it reports one at all — backs
+/// it with a valid prepared certificate. A report of "never prepared"
+/// (`prepared_view = 0`) must carry no value and no certificate.
+pub fn valid_new_leader(m: &NewLeader, ctx: &VerifyCtx<'_>) -> bool {
+    if m.prepared_view >= m.view {
+        return false;
+    }
+    if m.prepared_view.is_none() {
+        return m.prepared_value.is_none() && m.cert.is_empty();
+    }
+    let Some(value) = &m.prepared_value else {
+        return false;
+    };
+    prepared(&m.cert, m.prepared_view, value, m.sender, ctx)
+}
+
+/// The leader's proposal-choice rule (lines 7–8): the value prepared in the
+/// most recent view by the most replicas, or `None` if no justification
+/// message reports a prepared value (leader is then free to propose its
+/// own).
+///
+/// Ties in the mode are broken by smallest value digest, deterministically,
+/// so that the leader and every validator agree (see DESIGN.md,
+/// "Paper-fidelity notes").
+pub fn choose_proposal(justification: &[NewLeader]) -> Option<Value> {
+    let v_max = justification
+        .iter()
+        .map(|m| m.prepared_view)
+        .max()
+        .unwrap_or(View::NONE);
+    if v_max.is_none() {
+        return None;
+    }
+    // mode{ val_j : prepared_view_j = v_max }
+    let mut counts: BTreeMap<Digest, (usize, &Value)> = BTreeMap::new();
+    for m in justification {
+        if m.prepared_view == v_max {
+            if let Some(value) = &m.prepared_value {
+                let e = counts.entry(value.digest()).or_insert((0, value));
+                e.0 += 1;
+            }
+        }
+    }
+    // Max count; ties resolved by the BTreeMap's digest order (smallest
+    // digest wins) by scanning in order and requiring a strict improvement.
+    counts
+        .values()
+        .fold(None::<(usize, &Value)>, |best, &(count, value)| match best {
+            Some((best_count, _)) if best_count >= count => best,
+            _ => Some((count, value)),
+        })
+        .map(|(_, v)| v.clone())
+}
+
+/// The `safeProposal(m)` predicate (§3.2).
+///
+/// Validators re-run the leader's computation: in view 1 any valid value is
+/// safe; in later views the Propose must carry a deterministic quorum of
+/// valid NewLeader messages from distinct senders, and the proposed value
+/// must equal the outcome of [`choose_proposal`] over them (or be free when
+/// no replica reported a prepared value).
+///
+/// Assumes `propose` has already passed cryptographic verification
+/// ([`Propose::verify`]); this function performs only the semantic checks.
+pub fn safe_proposal(propose: &Propose, ctx: &VerifyCtx<'_>) -> bool {
+    let view = propose.proposal.view;
+    if view.is_none() {
+        return false;
+    }
+    if ctx.cfg.leader_of(view) != propose.proposal.leader {
+        return false;
+    }
+    if !ctx.cfg.validity().is_valid(&propose.proposal.value) {
+        return false;
+    }
+    if view == View::FIRST {
+        return true;
+    }
+    // |M| ≥ ⌈(n+f+1)/2⌉ distinct valid senders.
+    let mut senders: BTreeSet<ReplicaId> = BTreeSet::new();
+    for m in &propose.justification {
+        if m.view != view || !valid_new_leader(m, ctx) {
+            return false;
+        }
+        senders.insert(m.sender);
+    }
+    if senders.len() < ctx.cfg.deterministic_quorum() {
+        return false;
+    }
+    match choose_proposal(&propose.justification) {
+        // Some replica prepared: the leader is bound to the mode value.
+        Some(required) => required.digest() == propose.proposal.value.digest(),
+        // Nobody prepared: the leader may propose any valid value.
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProbftConfig;
+    use crate::message::SignedProposal;
+    use crate::sampling::derive_sample;
+    use probft_crypto::keyring::Keyring;
+    use probft_quorum::ReplicaId;
+
+    /// Small config where q is tiny, so certificates are easy to build:
+    /// n = 16, l = 1 → q = 4, o = 1.5 → s = 6.
+    fn setup() -> (ProbftConfig, Keyring) {
+        let cfg = ProbftConfig::builder(16)
+            .quorum_multiplier(1.0)
+            .overprovision(1.5)
+            .build();
+        let ring = Keyring::generate(16, b"pred-test");
+        (cfg, ring)
+    }
+
+    fn leader_proposal(
+        cfg: &ProbftConfig,
+        ring: &Keyring,
+        view: View,
+        tag: u64,
+    ) -> SignedProposal {
+        let leader = cfg.leader_of(view);
+        SignedProposal::sign(
+            ring.signing_key(leader.index()).unwrap(),
+            leader,
+            view,
+            Value::from_tag(tag),
+        )
+    }
+
+    /// Builds Prepare messages for `(view, tag)` from enough senders whose
+    /// samples include `holder`, by scanning the population.
+    fn cert_for(
+        cfg: &ProbftConfig,
+        ring: &Keyring,
+        view: View,
+        tag: u64,
+        holder: ReplicaId,
+        want: usize,
+    ) -> Vec<PhaseMessage> {
+        let proposal = leader_proposal(cfg, ring, view, tag);
+        let mut cert = Vec::new();
+        for i in 0..cfg.n() {
+            let sk = ring.signing_key(i).unwrap();
+            let (sample, proof) =
+                derive_sample(sk, view, Phase::Prepare, cfg.sample_size(), cfg.n());
+            if sample.contains(&holder) {
+                cert.push(PhaseMessage::sign(
+                    sk,
+                    Phase::Prepare,
+                    ReplicaId::from(i),
+                    proposal.clone(),
+                    sample,
+                    proof,
+                ));
+                if cert.len() == want {
+                    break;
+                }
+            }
+        }
+        assert_eq!(cert.len(), want, "population too small to build cert");
+        cert
+    }
+
+    #[test]
+    fn prepared_accepts_valid_certificate() {
+        let (cfg, ring) = setup();
+        let holder = ReplicaId(2);
+        let cert = cert_for(&cfg, &ring, View(1), 7, holder, cfg.probabilistic_quorum());
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(prepared(&cert, View(1), &Value::from_tag(7), holder, &ctx));
+    }
+
+    #[test]
+    fn prepared_rejects_undersized_certificate() {
+        let (cfg, ring) = setup();
+        let holder = ReplicaId(2);
+        let cert = cert_for(&cfg, &ring, View(1), 7, holder, cfg.probabilistic_quorum() - 1);
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(!prepared(&cert, View(1), &Value::from_tag(7), holder, &ctx));
+    }
+
+    #[test]
+    fn prepared_ignores_duplicate_senders() {
+        let (cfg, ring) = setup();
+        let holder = ReplicaId(2);
+        let mut cert = cert_for(&cfg, &ring, View(1), 7, holder, cfg.probabilistic_quorum() - 1);
+        // Pad with copies of the first message: distinct-sender count stays
+        // below q.
+        let dup = cert[0].clone();
+        cert.push(dup.clone());
+        cert.push(dup);
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(!prepared(&cert, View(1), &Value::from_tag(7), holder, &ctx));
+    }
+
+    #[test]
+    fn prepared_rejects_wrong_holder() {
+        let (cfg, ring) = setup();
+        let holder = ReplicaId(2);
+        let cert = cert_for(&cfg, &ring, View(1), 7, holder, cfg.probabilistic_quorum());
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        // A different replica cannot claim this certificate unless every
+        // sample happens to contain it too; find one excluded somewhere.
+        let other = (0..cfg.n())
+            .map(ReplicaId::from)
+            .find(|id| cert.iter().any(|m| !m.includes(*id)))
+            .expect("some replica excluded from some sample");
+        assert!(!prepared(&cert, View(1), &Value::from_tag(7), other, &ctx));
+    }
+
+    #[test]
+    fn prepared_rejects_mismatched_value_or_view() {
+        let (cfg, ring) = setup();
+        let holder = ReplicaId(2);
+        let cert = cert_for(&cfg, &ring, View(1), 7, holder, cfg.probabilistic_quorum());
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(!prepared(&cert, View(1), &Value::from_tag(8), holder, &ctx));
+        assert!(!prepared(&cert, View(2), &Value::from_tag(7), holder, &ctx));
+        assert!(!prepared(&cert, View::NONE, &Value::from_tag(7), holder, &ctx));
+    }
+
+    fn new_leader_none(ring: &Keyring, sender: usize, view: View) -> NewLeader {
+        NewLeader::sign(
+            ring.signing_key(sender).unwrap(),
+            ReplicaId::from(sender),
+            view,
+            View::NONE,
+            None,
+            vec![],
+        )
+    }
+
+    #[test]
+    fn valid_new_leader_accepts_empty_report() {
+        let (cfg, ring) = setup();
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(valid_new_leader(&new_leader_none(&ring, 0, View(2)), &ctx));
+    }
+
+    #[test]
+    fn valid_new_leader_rejects_future_prepared_view() {
+        let (cfg, ring) = setup();
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        let m = NewLeader::sign(
+            ring.signing_key(0).unwrap(),
+            ReplicaId(0),
+            View(2),
+            View(2), // not < view
+            Some(Value::from_tag(1)),
+            vec![],
+        );
+        assert!(!valid_new_leader(&m, &ctx));
+    }
+
+    #[test]
+    fn valid_new_leader_rejects_value_without_cert() {
+        let (cfg, ring) = setup();
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        let m = NewLeader::sign(
+            ring.signing_key(0).unwrap(),
+            ReplicaId(0),
+            View(2),
+            View(1),
+            Some(Value::from_tag(1)),
+            vec![],
+        );
+        assert!(!valid_new_leader(&m, &ctx));
+    }
+
+    #[test]
+    fn valid_new_leader_rejects_cert_without_value() {
+        let (cfg, ring) = setup();
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        let m = NewLeader::sign(
+            ring.signing_key(0).unwrap(),
+            ReplicaId(0),
+            View(2),
+            View(1),
+            None,
+            vec![],
+        );
+        assert!(!valid_new_leader(&m, &ctx));
+    }
+
+    #[test]
+    fn valid_new_leader_accepts_proper_certificate() {
+        let (cfg, ring) = setup();
+        let holder = ReplicaId(3);
+        let cert = cert_for(&cfg, &ring, View(1), 7, holder, cfg.probabilistic_quorum());
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        let m = NewLeader::sign(
+            ring.signing_key(3).unwrap(),
+            holder,
+            View(2),
+            View(1),
+            Some(Value::from_tag(7)),
+            cert,
+        );
+        assert!(valid_new_leader(&m, &ctx));
+    }
+
+    #[test]
+    fn choose_proposal_none_when_nothing_prepared() {
+        let (_, ring) = setup();
+        let ms: Vec<NewLeader> = (0..3).map(|i| new_leader_none(&ring, i, View(2))).collect();
+        assert_eq!(choose_proposal(&ms), None);
+        assert_eq!(choose_proposal(&[]), None);
+    }
+
+    #[test]
+    fn choose_proposal_takes_mode_of_latest_view() {
+        let (_, ring) = setup();
+        let make = |sender: usize, pview: u64, tag: u64| {
+            NewLeader::sign(
+                ring.signing_key(sender).unwrap(),
+                ReplicaId::from(sender),
+                View(5),
+                View(pview),
+                Some(Value::from_tag(tag)),
+                vec![], // cert validity not needed by choose_proposal
+            )
+        };
+        // Latest prepared view is 3; among those, value 9 appears twice,
+        // value 8 once. An older view-2 report of value 7 is ignored.
+        let ms = vec![make(0, 3, 9), make(1, 3, 8), make(2, 3, 9), make(3, 2, 7)];
+        assert_eq!(choose_proposal(&ms), Some(Value::from_tag(9)));
+    }
+
+    #[test]
+    fn choose_proposal_breaks_ties_by_digest() {
+        let (_, ring) = setup();
+        let make = |sender: usize, tag: u64| {
+            NewLeader::sign(
+                ring.signing_key(sender).unwrap(),
+                ReplicaId::from(sender),
+                View(5),
+                View(3),
+                Some(Value::from_tag(tag)),
+                vec![],
+            )
+        };
+        let a = Value::from_tag(1);
+        let b = Value::from_tag(2);
+        let expected = if a.digest() < b.digest() { a } else { b };
+        let ms = vec![make(0, 1), make(1, 2)];
+        assert_eq!(choose_proposal(&ms), Some(expected.clone()));
+        // Order of the justification must not matter.
+        let ms_rev = vec![make(1, 2), make(0, 1)];
+        assert_eq!(choose_proposal(&ms_rev), Some(expected));
+    }
+
+    #[test]
+    fn safe_proposal_view_one_accepts_any_valid_value() {
+        let (cfg, ring) = setup();
+        let proposal = leader_proposal(&cfg, &ring, View(1), 42);
+        let propose = Propose::sign(
+            ring.signing_key(proposal.leader.index()).unwrap(),
+            proposal,
+            vec![],
+        );
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(safe_proposal(&propose, &ctx));
+    }
+
+    #[test]
+    fn safe_proposal_rejects_invalid_value() {
+        let ring = Keyring::generate(16, b"pred-test");
+        let cfg = ProbftConfig::builder(16)
+            .quorum_multiplier(1.0)
+            .validity(crate::value::ValidityPredicate::new(|v| v.len() < 4))
+            .build();
+        let proposal = leader_proposal(&cfg, &ring, View(1), 1); // "value-1" is 7 bytes
+        let propose = Propose::sign(ring.signing_key(0).unwrap(), proposal, vec![]);
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(!safe_proposal(&propose, &ctx));
+    }
+
+    #[test]
+    fn safe_proposal_later_view_requires_quorum() {
+        let (cfg, ring) = setup();
+        let view = View(2);
+        let leader = cfg.leader_of(view);
+        // Too few NewLeader messages.
+        let justification: Vec<NewLeader> =
+            (0..3).map(|i| new_leader_none(&ring, i, view)).collect();
+        let proposal = leader_proposal(&cfg, &ring, view, 1);
+        let propose = Propose::sign(
+            ring.signing_key(leader.index()).unwrap(),
+            proposal,
+            justification,
+        );
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(!safe_proposal(&propose, &ctx));
+    }
+
+    #[test]
+    fn safe_proposal_later_view_with_full_quorum() {
+        let (cfg, ring) = setup();
+        let view = View(2);
+        let leader = cfg.leader_of(view);
+        let dq = cfg.deterministic_quorum();
+        let justification: Vec<NewLeader> =
+            (0..dq).map(|i| new_leader_none(&ring, i, view)).collect();
+        let proposal = leader_proposal(&cfg, &ring, view, 1);
+        let propose = Propose::sign(
+            ring.signing_key(leader.index()).unwrap(),
+            proposal,
+            justification,
+        );
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(safe_proposal(&propose, &ctx));
+    }
+
+    #[test]
+    fn safe_proposal_duplicate_senders_do_not_count() {
+        let (cfg, ring) = setup();
+        let view = View(2);
+        let leader = cfg.leader_of(view);
+        let dq = cfg.deterministic_quorum();
+        // dq messages but all from sender 0.
+        let justification: Vec<NewLeader> =
+            (0..dq).map(|_| new_leader_none(&ring, 0, view)).collect();
+        let proposal = leader_proposal(&cfg, &ring, view, 1);
+        let propose = Propose::sign(
+            ring.signing_key(leader.index()).unwrap(),
+            proposal,
+            justification,
+        );
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        assert!(!safe_proposal(&propose, &ctx));
+    }
+
+    #[test]
+    fn safe_proposal_binds_leader_to_prepared_value() {
+        let (cfg, ring) = setup();
+        let view = View(2);
+        let leader = cfg.leader_of(view);
+        let dq = cfg.deterministic_quorum();
+
+        // Replica 3 prepared value 7 in view 1; everyone else reports none.
+        let holder = ReplicaId(3);
+        let cert = cert_for(&cfg, &ring, View(1), 7, holder, cfg.probabilistic_quorum());
+        let mut justification: Vec<NewLeader> = vec![NewLeader::sign(
+            ring.signing_key(3).unwrap(),
+            holder,
+            view,
+            View(1),
+            Some(Value::from_tag(7)),
+            cert,
+        )];
+        for i in 0..dq - 1 {
+            let sender = if i >= 3 { i + 1 } else { i }; // skip replica 3
+            justification.push(new_leader_none(&ring, sender, view));
+        }
+
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+
+        // Leader proposing the prepared value: safe.
+        let good = Propose::sign(
+            ring.signing_key(leader.index()).unwrap(),
+            leader_proposal(&cfg, &ring, view, 7),
+            justification.clone(),
+        );
+        assert!(safe_proposal(&good, &ctx));
+
+        // Leader proposing something else: unsafe.
+        let bad = Propose::sign(
+            ring.signing_key(leader.index()).unwrap(),
+            leader_proposal(&cfg, &ring, view, 8),
+            justification,
+        );
+        assert!(!safe_proposal(&bad, &ctx));
+    }
+}

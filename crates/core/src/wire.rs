@@ -1,0 +1,245 @@
+//! A hand-rolled binary wire codec.
+//!
+//! Message sizes drive the paper's communication-complexity results
+//! (§3.3), so the workspace uses an explicit, auditable encoding rather
+//! than a serializer dependency: fixed-width big-endian integers and
+//! length-prefixed byte strings. The same bytes serve as the signing
+//! payload, so "what is signed" is exactly "what is sent".
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while decoding wire bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// A tag byte did not correspond to any known variant.
+    UnknownTag(u8),
+    /// A length prefix exceeded the configured sanity bound.
+    LengthOverflow(u64),
+    /// A cryptographic field (key, signature, proof) failed to decode.
+    BadCrypto(&'static str),
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd => f.write_str("unexpected end of input"),
+            WireError::UnknownTag(t) => write!(f, "unknown variant tag {t}"),
+            WireError::LengthOverflow(l) => write!(f, "length prefix {l} exceeds sanity bound"),
+            WireError::BadCrypto(what) => write!(f, "malformed cryptographic field: {what}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Upper bound on any single length prefix (16 MiB), a defence against
+/// allocation bombs from malformed input.
+pub const MAX_LEN: u64 = 16 * 1024 * 1024;
+
+/// Types that can be encoded to and decoded from wire bytes.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes a value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Convenience: the full encoding as a fresh buffer.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Convenience: decode from a complete buffer, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input or leftover bytes.
+    fn from_wire_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut reader = Reader::new(bytes);
+        let value = Self::decode(&mut reader)?;
+        if reader.remaining() != 0 {
+            return Err(WireError::TrailingBytes(reader.remaining()));
+        }
+        Ok(value)
+    }
+}
+
+/// A cursor over input bytes with bounds-checked primitive reads.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Reader { input }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Reads exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] if fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.input.len() < n {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    /// Reads a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        Ok(self.bytes(N)?.try_into().expect("length checked"))
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.array()?))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.array()?))
+    }
+
+    /// Reads a `u64` length prefix, validating it against [`MAX_LEN`].
+    pub fn len_prefix(&mut self) -> Result<usize, WireError> {
+        let len = self.u64()?;
+        if len > MAX_LEN {
+            return Err(WireError::LengthOverflow(len));
+        }
+        Ok(len as usize)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn var_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.len_prefix()?;
+        self.bytes(len)
+    }
+}
+
+/// Encoder helpers mirroring [`Reader`].
+pub mod put {
+    /// Appends a big-endian `u32`.
+    pub fn u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn var_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+        u64(out, bytes.len() as u64);
+        out.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut out = Vec::new();
+        out.push(0xAB);
+        put::u32(&mut out, 0xDEADBEEF);
+        put::u64(&mut out, 42);
+        put::var_bytes(&mut out, b"hello");
+
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.var_bytes().unwrap(), b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn unexpected_end() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u32(), Err(WireError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn length_bomb_rejected() {
+        let mut out = Vec::new();
+        put::u64(&mut out, MAX_LEN + 1);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.var_bytes(), Err(WireError::LengthOverflow(MAX_LEN + 1)));
+    }
+
+    #[test]
+    fn truncated_var_bytes() {
+        let mut out = Vec::new();
+        put::var_bytes(&mut out, b"hello");
+        out.truncate(out.len() - 1);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.var_bytes(), Err(WireError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            WireError::UnexpectedEnd,
+            WireError::UnknownTag(7),
+            WireError::LengthOverflow(1 << 40),
+            WireError::BadCrypto("signature"),
+            WireError::TrailingBytes(3),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn wire_trait_round_trip_and_trailing_detection() {
+        #[derive(Debug, PartialEq)]
+        struct Pair(u32, u64);
+        impl Wire for Pair {
+            fn encode(&self, out: &mut Vec<u8>) {
+                put::u32(out, self.0);
+                put::u64(out, self.1);
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                Ok(Pair(r.u32()?, r.u64()?))
+            }
+        }
+        let p = Pair(7, 9);
+        let bytes = p.to_wire_bytes();
+        assert_eq!(Pair::from_wire_bytes(&bytes).unwrap(), p);
+
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert_eq!(
+            Pair::from_wire_bytes(&extra),
+            Err(WireError::TrailingBytes(1))
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Robustness under injected link faults: message duplication (always
+//! harmless — quorum trackers count distinct senders) and message loss
+//! (outside the partial-synchrony model, but the view-change machinery
+//! retries until a lucky view completes).
+
+use probft_core::harness::InstanceBuilder;
+use probft_core::ByzantineStrategy;
+use probft_quorum::ReplicaId;
+
+#[test]
+fn duplicated_messages_never_break_safety_or_inflate_quorums() {
+    for seed in 0..3 {
+        let outcome = InstanceBuilder::new(20)
+            .seed(seed)
+            .link_faults(0.0, 0.5) // half of all messages delivered twice
+            .run();
+        assert!(outcome.all_correct_decided(), "seed {seed}: {outcome:?}");
+        assert!(outcome.agreement(), "seed {seed}");
+    }
+}
+
+#[test]
+fn moderate_message_loss_is_survived_via_view_changes() {
+    // 5% loss breaks some quorums; liveness comes from retrying views.
+    let outcome = InstanceBuilder::new(20)
+        .seed(5)
+        .link_faults(0.05, 0.0)
+        .run();
+    assert!(outcome.all_correct_decided(), "{outcome:?}");
+    assert!(outcome.agreement());
+}
+
+#[test]
+fn loss_plus_duplication_plus_byzantine_leader() {
+    let outcome = InstanceBuilder::new(20)
+        .seed(6)
+        .link_faults(0.03, 0.2)
+        .byzantine(ReplicaId(0), ByzantineStrategy::SplitLeader)
+        .run();
+    assert!(outcome.agreement(), "{outcome:?}");
+    assert!(outcome.all_correct_decided(), "{outcome:?}");
+}
+
+#[test]
+fn heavy_duplication_does_not_change_the_decision() {
+    let clean = InstanceBuilder::new(13).seed(8).run();
+    let noisy = InstanceBuilder::new(13).seed(8).link_faults(0.0, 0.9).run();
+    assert!(clean.all_correct_decided() && noisy.all_correct_decided());
+    // Same seed, same leader value; duplication must not alter outcomes.
+    assert_eq!(
+        clean.decided_value().map(|v| v.digest()),
+        noisy.decided_value().map(|v| v.digest()),
+    );
+}
+
+#[test]
+fn partition_delays_consensus_until_heal() {
+    use probft_simnet::time::SimTime;
+    // Split 20 replicas 10/10: neither side alone holds a probabilistic
+    // quorum's worth of sample mass toward the other, and the leader's
+    // proposal reaches only group 0. After the heal everything flows.
+    let groups: Vec<u8> = (0..20).map(|i| u8::from(i >= 10)).collect();
+    let heal = SimTime::from_ticks(500_000);
+    let outcome = InstanceBuilder::new(20)
+        .seed(11)
+        .partition(groups, heal)
+        .run();
+    assert!(outcome.all_correct_decided(), "{outcome:?}");
+    assert!(outcome.agreement());
+    assert!(
+        outcome.finished_at >= heal,
+        "decision at {} cannot precede the heal at {heal}",
+        outcome.finished_at
+    );
+}

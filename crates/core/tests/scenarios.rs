@@ -1,0 +1,201 @@
+//! Crate-level integration scenarios for ProBFT: normal case, view change,
+//! Byzantine leaders, and network adversity. (Cross-crate comparisons live
+//! in the workspace-root `tests/` directory.)
+
+use probft_core::byzantine::equivocation_values;
+use probft_core::config::View;
+use probft_core::harness::InstanceBuilder;
+use probft_core::value::Value;
+use probft_core::ByzantineStrategy;
+use probft_quorum::ReplicaId;
+use probft_simnet::time::{SimDuration, SimTime};
+
+#[test]
+fn normal_case_decides_in_view_one() {
+    for seed in 0..5 {
+        let outcome = InstanceBuilder::new(25).seed(seed).run();
+        assert!(outcome.all_correct_decided(), "seed {seed}: {outcome:?}");
+        assert!(outcome.agreement());
+        // Quorum formation is probabilistic: with small probability a
+        // replica misses a quorum in view 1 and decides after a view
+        // change — but the *first* decisions always land in view 1 here,
+        // and the leader's value carries over via safeProposal.
+        assert_eq!(outcome.decided_views().first(), Some(&View(1)), "seed {seed}");
+        assert_eq!(
+            outcome.decided_value().map(Value::digest),
+            Some(Value::from_tag(0).digest()),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn normal_case_message_complexity_is_subquadratic() {
+    let outcome = InstanceBuilder::new(100).seed(1).run();
+    assert!(outcome.all_correct_decided());
+    let total = outcome.metrics.total_sent();
+    // PBFT would send ≈ 2n² = 20_000 prepare/commit messages alone.
+    // ProBFT: n propose + 2·n·s = 100 + 2·100·34 = 6_900.
+    assert!(
+        total < 8_000,
+        "expected O(n√n) ≈ 6.9k messages, got {total}"
+    );
+    // And the phase messages specifically should be ≈ n·s each.
+    let prep = outcome.metrics.kind("Prepare").sent;
+    assert!((3_000..4_000).contains(&prep), "prepare count {prep}");
+}
+
+#[test]
+fn silent_leader_triggers_view_change() {
+    let outcome = InstanceBuilder::new(13)
+        .seed(3)
+        .byzantine(ReplicaId(0), ByzantineStrategy::Silent)
+        .run();
+    assert!(outcome.all_correct_decided(), "{outcome:?}");
+    assert!(outcome.agreement());
+    assert!(
+        outcome.decided_views().iter().all(|v| *v >= View(2)),
+        "decision must happen after a view change, got {:?}",
+        outcome.decided_views()
+    );
+}
+
+#[test]
+fn crashed_leader_triggers_view_change() {
+    let outcome = InstanceBuilder::new(13)
+        .seed(4)
+        .byzantine(ReplicaId(0), ByzantineStrategy::Crash)
+        .run();
+    assert!(outcome.all_correct_decided(), "{outcome:?}");
+    assert!(outcome.agreement());
+}
+
+#[test]
+fn multiple_silent_replicas_tolerated() {
+    // f = 4 for n = 13; silence all four (including two leaders-to-be).
+    let mut b = InstanceBuilder::new(13).seed(5);
+    for i in [0usize, 1, 5, 9] {
+        b = b.byzantine(ReplicaId::from(i), ByzantineStrategy::Silent);
+    }
+    let outcome = b.run();
+    assert!(outcome.all_correct_decided(), "{outcome:?}");
+    assert!(outcome.agreement());
+}
+
+#[test]
+fn optimal_split_attack_preserves_safety() {
+    // The Fig. 4c attack with every Byzantine replica colluding. At n = 40
+    // the violation probability is exp(−Θ(√n))⁴-small; what we assert per
+    // seed is the strong invariant: never two different decided values.
+    let mut violations = 0;
+    for seed in 0..10 {
+        let mut b = InstanceBuilder::new(40).seed(seed);
+        for i in 0..13usize {
+            // f = 13 Byzantine replicas, replica 0 is the view-1 leader.
+            b = b.byzantine(ReplicaId::from(i), ByzantineStrategy::OptimalSplitLeader);
+        }
+        let outcome = b.run();
+        if !outcome.agreement() {
+            violations += 1;
+        }
+        // Any value decided *in the attack view* must be one the leader
+        // actually signed. (Decisions in later views, after the attack
+        // failed and honest leaders rotated in, are legitimately honest
+        // values.)
+        let (val1, val2) = equivocation_values();
+        for d in outcome.decisions.values().filter(|d| d.view == View(1)) {
+            assert!(
+                d.value.digest() == val1.digest() || d.value.digest() == val2.digest(),
+                "decided something the leader never signed: {:?}",
+                d.value
+            );
+        }
+    }
+    assert_eq!(violations, 0, "disagreement should be vanishingly rare");
+}
+
+#[test]
+fn equivocating_leader_is_detected_by_correct_replicas() {
+    let outcome = InstanceBuilder::new(20)
+        .seed(6)
+        .byzantine(
+            ReplicaId(0),
+            ByzantineStrategy::SplitLeader,
+        )
+        .run();
+    // The split sends val1 to half the replicas and val2 to the other half;
+    // prepare samples cross the halves, so detections are essentially
+    // certain at this size.
+    assert!(
+        outcome.equivocation_detections > 0,
+        "no replica detected the equivocation: {outcome:?}"
+    );
+    assert!(outcome.agreement(), "{outcome:?}");
+}
+
+#[test]
+fn flooding_replica_is_rejected_and_harmless() {
+    let outcome = InstanceBuilder::new(16)
+        .seed(7)
+        .byzantine(ReplicaId(3), ByzantineStrategy::FloodingReplica)
+        .run();
+    assert!(outcome.all_correct_decided(), "{outcome:?}");
+    assert!(outcome.agreement());
+}
+
+#[test]
+fn invalid_value_leader_is_rejected() {
+    use probft_core::ValidityPredicate;
+    let outcome = InstanceBuilder::new(13)
+        .seed(8)
+        .validity(ValidityPredicate::new(|v| v.as_bytes() != b"garbage"))
+        .byzantine(
+            ReplicaId(0),
+            ByzantineStrategy::InvalidValueLeader {
+                value: Value::new(b"garbage".to_vec()),
+            },
+        )
+        .run();
+    assert!(outcome.all_correct_decided(), "{outcome:?}");
+    assert!(outcome.agreement());
+    // The garbage value must not be the decision.
+    assert_ne!(
+        outcome.decided_value().map(Value::digest),
+        Some(Value::new(b"garbage".to_vec()).digest())
+    );
+}
+
+#[test]
+fn decides_after_gst_with_pre_gst_chaos() {
+    // GST at t = 200_000: before that, delays up to 150_000 ticks scramble
+    // everything; after GST the network is fast. The protocol must still
+    // decide (Probabilistic Termination, Theorem 4).
+    let outcome = InstanceBuilder::new(13)
+        .seed(9)
+        .gst(SimTime::from_ticks(200_000))
+        .pre_gst_max_delay(SimDuration::from_ticks(150_000))
+        .run();
+    assert!(outcome.all_correct_decided(), "{outcome:?}");
+    assert!(outcome.agreement());
+}
+
+#[test]
+fn deterministic_replay() {
+    let a = InstanceBuilder::new(20).seed(1234).run();
+    let b = InstanceBuilder::new(20).seed(1234).run();
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.finished_at, b.finished_at);
+    assert_eq!(a.metrics.total_sent(), b.metrics.total_sent());
+}
+
+#[test]
+fn distinct_seeds_distinct_runs() {
+    let a = InstanceBuilder::new(20).seed(1).run();
+    let b = InstanceBuilder::new(20).seed(2).run();
+    // Both decide, but the message schedules (and typically totals) differ.
+    assert!(a.all_correct_decided() && b.all_correct_decided());
+    assert!(
+        a.finished_at != b.finished_at || a.metrics.total_sent() != b.metrics.total_sent(),
+        "different seeds produced identical runs"
+    );
+}

@@ -1,0 +1,57 @@
+//! Error types for the cryptographic substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by signature and VRF verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CryptoError {
+    /// A signature failed verification.
+    InvalidSignature,
+    /// A VRF proof or its claimed sample failed verification.
+    InvalidVrfProof,
+    /// A byte string could not be decoded into a key, scalar, or proof.
+    MalformedEncoding,
+    /// A replica index was outside the keyring's population.
+    UnknownReplica(usize),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidSignature => f.write_str("signature verification failed"),
+            CryptoError::InvalidVrfProof => f.write_str("VRF proof verification failed"),
+            CryptoError::MalformedEncoding => f.write_str("malformed cryptographic encoding"),
+            CryptoError::UnknownReplica(id) => write!(f, "unknown replica index {id}"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        for e in [
+            CryptoError::InvalidSignature,
+            CryptoError::InvalidVrfProof,
+            CryptoError::MalformedEncoding,
+            CryptoError::UnknownReplica(3),
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            // Lowercase start, with an exception for acronyms like "VRF".
+            assert!(!s.starts_with(|c: char| c.is_uppercase()) || s.starts_with("VRF"));
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(CryptoError::InvalidSignature);
+    }
+}

@@ -1,0 +1,397 @@
+//! The Schnorr group used by signatures and the VRF.
+//!
+//! We work in the subgroup of quadratic residues of `Z_p^*` for the safe
+//! prime `p = 2q + 1`, which has prime order `q`. All arithmetic is
+//! implemented from scratch on `u64` limbs with `u128` intermediates.
+//!
+//! **Security note (documented substitution):** `p` is a 63-bit safe prime,
+//! so the discrete logarithm here is breakable in practice (~2³¹ work). The
+//! ProBFT paper *assumes* cryptography is unbreakable (§2.1); the toy group
+//! keeps the construction structurally identical to a production deployment
+//! (swap in a 256-bit group) while staying dependency-free and fast enough
+//! for large-scale simulation. See DESIGN.md, "Substitutions".
+//!
+//! # Examples
+//!
+//! ```
+//! use probft_crypto::group::{GroupElement, Scalar};
+//!
+//! let x = Scalar::new(12345);
+//! let y = GroupElement::generator().pow(x);
+//! assert_eq!(y, GroupElement::generator().pow(Scalar::new(12344)) * GroupElement::generator());
+//! ```
+
+use crate::sha256::{Digest, Sha256};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// The group modulus: a 63-bit safe prime, `P = 2·Q + 1`.
+pub const P: u64 = 9_223_372_036_854_771_239;
+
+/// The prime order of the quadratic-residue subgroup: `Q = (P − 1) / 2`.
+pub const Q: u64 = 4_611_686_018_427_385_619;
+
+/// The subgroup generator `g = 4 = 2²`, a quadratic residue.
+pub const G: u64 = 4;
+
+/// Multiplication modulo `P` via `u128` intermediates.
+#[inline]
+fn mul_mod_p(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % P as u128) as u64
+}
+
+/// Modular exponentiation `base^exp mod P` by square-and-multiply.
+fn pow_mod_p(base: u64, mut exp: u64) -> u64 {
+    let mut acc: u64 = 1;
+    let mut b = base % P;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod_p(acc, b);
+        }
+        b = mul_mod_p(b, b);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// A scalar: an exponent modulo the subgroup order [`Q`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Scalar(u64);
+
+impl Scalar {
+    /// The additive identity.
+    pub const ZERO: Scalar = Scalar(0);
+    /// The multiplicative identity.
+    pub const ONE: Scalar = Scalar(1);
+
+    /// Creates a scalar, reducing `value` modulo [`Q`].
+    pub fn new(value: u64) -> Self {
+        Scalar(value % Q)
+    }
+
+    /// Derives a scalar from a digest (big-endian reduction).
+    ///
+    /// The 64-bit prefix of a uniform 256-bit digest is statistically close
+    /// to uniform modulo the 62-bit `Q`.
+    pub fn from_digest(d: Digest) -> Self {
+        Scalar::new(d.to_u64())
+    }
+
+    /// Returns the canonical representative in `[0, Q)`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Byte encoding (8 bytes, big-endian).
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Decodes a scalar, rejecting non-canonical (≥ Q) encodings.
+    pub fn from_bytes(bytes: [u8; 8]) -> Option<Self> {
+        let v = u64::from_be_bytes(bytes);
+        (v < Q).then_some(Scalar(v))
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`Q` is prime).
+    ///
+    /// Returns `None` for zero.
+    pub fn invert(self) -> Option<Scalar> {
+        if self.0 == 0 {
+            return None;
+        }
+        // a^(Q-2) mod Q
+        let mut acc: u64 = 1;
+        let mut b = self.0;
+        let mut exp = Q - 2;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = ((acc as u128 * b as u128) % Q as u128) as u64;
+            }
+            b = ((b as u128 * b as u128) % Q as u128) as u64;
+            exp >>= 1;
+        }
+        Some(Scalar(acc))
+    }
+}
+
+impl Add for Scalar {
+    type Output = Scalar;
+    fn add(self, rhs: Scalar) -> Scalar {
+        Scalar((((self.0 as u128) + (rhs.0 as u128)) % Q as u128) as u64)
+    }
+}
+
+impl Sub for Scalar {
+    type Output = Scalar;
+    fn sub(self, rhs: Scalar) -> Scalar {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Scalar {
+    type Output = Scalar;
+    fn neg(self) -> Scalar {
+        if self.0 == 0 {
+            self
+        } else {
+            Scalar(Q - self.0)
+        }
+    }
+}
+
+impl Mul for Scalar {
+    type Output = Scalar;
+    fn mul(self, rhs: Scalar) -> Scalar {
+        Scalar(((self.0 as u128 * rhs.0 as u128) % Q as u128) as u64)
+    }
+}
+
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scalar({})", self.0)
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An element of the order-`Q` quadratic-residue subgroup of `Z_P^*`.
+///
+/// The representation is the canonical residue in `[1, P)`. Constructors
+/// guarantee subgroup membership, so equality of representatives is group
+/// equality.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupElement(u64);
+
+impl GroupElement {
+    /// The group identity.
+    pub const IDENTITY: GroupElement = GroupElement(1);
+
+    /// The fixed subgroup generator.
+    pub fn generator() -> Self {
+        GroupElement(G)
+    }
+
+    /// Exponentiation: `self^k`.
+    pub fn pow(self, k: Scalar) -> Self {
+        GroupElement(pow_mod_p(self.0, k.0))
+    }
+
+    /// The group inverse.
+    pub fn invert(self) -> Self {
+        // a^(P-2) mod P
+        GroupElement(pow_mod_p(self.0, P - 2))
+    }
+
+    /// Hashes arbitrary bytes to a group element with unknown discrete log.
+    ///
+    /// The digest is reduced into `Z_P^*` and squared; squaring maps onto the
+    /// quadratic-residue subgroup. A zero residue (probability ~2⁻⁶³ per
+    /// attempt) is retried with a counter, so the function is total.
+    pub fn hash_to_group(input: &[u8]) -> Self {
+        let mut ctr: u32 = 0;
+        loop {
+            let d = Sha256::digest_parts(&[b"probft-h2g-v1", input, &ctr.to_be_bytes()]);
+            let r = d.to_u64() % P;
+            if r != 0 {
+                return GroupElement(mul_mod_p(r, r));
+            }
+            ctr += 1;
+        }
+    }
+
+    /// Returns the canonical representative in `[1, P)`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Byte encoding (8 bytes, big-endian).
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Decodes an element, verifying subgroup membership.
+    ///
+    /// Returns `None` unless the value is in `[1, P)` and is a quadratic
+    /// residue (i.e. `v^Q ≡ 1 (mod P)`), which rejects both malformed and
+    /// small-subgroup-attack encodings.
+    pub fn from_bytes(bytes: [u8; 8]) -> Option<Self> {
+        let v = u64::from_be_bytes(bytes);
+        if v == 0 || v >= P {
+            return None;
+        }
+        (pow_mod_p(v, Q) == 1).then_some(GroupElement(v))
+    }
+}
+
+impl Mul for GroupElement {
+    type Output = GroupElement;
+    fn mul(self, rhs: GroupElement) -> GroupElement {
+        GroupElement(mul_mod_p(self.0, rhs.0))
+    }
+}
+
+impl fmt::Debug for GroupElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GroupElement({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for GroupElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic Miller–Rabin, exact for all u64 with these bases.
+    fn is_prime_u64(n: u64) -> bool {
+        if n < 2 {
+            return false;
+        }
+        for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+            if n == p {
+                return true;
+            }
+            if n % p == 0 {
+                return false;
+            }
+        }
+        let mut d = n - 1;
+        let mut r = 0;
+        while d % 2 == 0 {
+            d /= 2;
+            r += 1;
+        }
+        'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+            let mut x = {
+                let mut acc: u64 = 1;
+                let mut b = a % n;
+                let mut e = d;
+                while e > 0 {
+                    if e & 1 == 1 {
+                        acc = ((acc as u128 * b as u128) % n as u128) as u64;
+                    }
+                    b = ((b as u128 * b as u128) % n as u128) as u64;
+                    e >>= 1;
+                }
+                acc
+            };
+            if x == 1 || x == n - 1 {
+                continue;
+            }
+            for _ in 0..r - 1 {
+                x = ((x as u128 * x as u128) % n as u128) as u64;
+                if x == n - 1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    #[test]
+    fn parameters_are_a_safe_prime_group() {
+        assert!(is_prime_u64(P), "P must be prime");
+        assert!(is_prime_u64(Q), "Q must be prime");
+        assert_eq!(P, 2 * Q + 1, "P must be a safe prime");
+    }
+
+    #[test]
+    fn generator_has_order_q() {
+        let g = GroupElement::generator();
+        assert_eq!(g.pow(Scalar::new(0)), GroupElement::IDENTITY);
+        assert_ne!(g.pow(Scalar::ONE), GroupElement::IDENTITY);
+        // g^Q = identity in the exponent group: Scalar reduces mod Q, so test
+        // via raw pow.
+        assert_eq!(pow_mod_p(G, Q), 1, "g must lie in the order-Q subgroup");
+        assert_ne!(pow_mod_p(G, 2), 1);
+    }
+
+    #[test]
+    fn scalar_field_axioms_spot_checks() {
+        let a = Scalar::new(0xDEAD_BEEF_1234_5678);
+        let b = Scalar::new(0x1357_9BDF_2468_ACE0);
+        let c = Scalar::new(42);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!(a * (b + c), a * b + a * c);
+        assert_eq!(a + Scalar::ZERO, a);
+        assert_eq!(a * Scalar::ONE, a);
+        assert_eq!(a - a, Scalar::ZERO);
+        assert_eq!(a + (-a), Scalar::ZERO);
+    }
+
+    #[test]
+    fn scalar_inverse() {
+        for v in [1u64, 2, 3, 12345, Q - 1] {
+            let s = Scalar::new(v);
+            let inv = s.invert().expect("nonzero");
+            assert_eq!(s * inv, Scalar::ONE, "v = {v}");
+        }
+        assert_eq!(Scalar::ZERO.invert(), None);
+    }
+
+    #[test]
+    fn group_axioms_spot_checks() {
+        let g = GroupElement::generator();
+        let a = g.pow(Scalar::new(111));
+        let b = g.pow(Scalar::new(222));
+        assert_eq!(a * b, g.pow(Scalar::new(333)));
+        assert_eq!(a * a.invert(), GroupElement::IDENTITY);
+        assert_eq!(a * GroupElement::IDENTITY, a);
+    }
+
+    #[test]
+    fn pow_respects_exponent_arithmetic() {
+        let g = GroupElement::generator();
+        let x = Scalar::new(98765);
+        let y = Scalar::new(43210);
+        assert_eq!(g.pow(x).pow(y), g.pow(x * y));
+        assert_eq!(g.pow(x) * g.pow(y), g.pow(x + y));
+    }
+
+    #[test]
+    fn hash_to_group_members_verify() {
+        for input in [b"a".as_slice(), b"bb", b"ccc", b""] {
+            let h = GroupElement::hash_to_group(input);
+            // Must round-trip through the membership-checking decoder.
+            assert_eq!(GroupElement::from_bytes(h.to_bytes()), Some(h));
+        }
+    }
+
+    #[test]
+    fn hash_to_group_distinct_inputs_distinct_outputs() {
+        assert_ne!(
+            GroupElement::hash_to_group(b"view-1|prepare"),
+            GroupElement::hash_to_group(b"view-1|commit"),
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_invalid() {
+        assert_eq!(GroupElement::from_bytes(0u64.to_be_bytes()), None);
+        assert_eq!(GroupElement::from_bytes(P.to_be_bytes()), None);
+        assert_eq!(GroupElement::from_bytes(u64::MAX.to_be_bytes()), None);
+        // A non-residue: the generator of the full group, 2·(any QR) where
+        // -1 is a non-residue for safe primes p ≡ 3 (mod 4).
+        assert_eq!(P % 4, 3);
+        let non_residue = P - 1; // -1 is a non-residue when p ≡ 3 (mod 4)
+        assert_eq!(GroupElement::from_bytes(non_residue.to_be_bytes()), None);
+    }
+
+    #[test]
+    fn scalar_from_bytes_rejects_noncanonical() {
+        assert_eq!(Scalar::from_bytes(Q.to_be_bytes()), None);
+        assert_eq!(Scalar::from_bytes((Q - 1).to_be_bytes()), Some(Scalar(Q - 1)));
+    }
+}

@@ -1,0 +1,152 @@
+//! HMAC-SHA256 (RFC 2104), built on the from-scratch [`Sha256`].
+//!
+//! Used as the keyed PRF for deterministic nonce derivation in the Schnorr
+//! signer (an RFC 6979-style construction) and as the seed extractor for the
+//! counter-mode PRG.
+//!
+//! # Examples
+//!
+//! ```
+//! use probft_crypto::hmac::hmac_sha256;
+//!
+//! let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+//! assert_eq!(
+//!     tag.to_hex(),
+//!     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+//! );
+//! ```
+
+use crate::sha256::{Digest, Sha256, BLOCK_LEN};
+
+/// Computes `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    Hmac::new(key).chain(message).finalize()
+}
+
+/// Incremental HMAC-SHA256 computation.
+///
+/// # Examples
+///
+/// ```
+/// use probft_crypto::hmac::{hmac_sha256, Hmac};
+///
+/// let tag = Hmac::new(b"k").chain(b"part one ").chain(b"part two").finalize();
+/// assert_eq!(tag, hmac_sha256(b"k", b"part one part two"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hmac {
+    inner: Sha256,
+    /// Key XORed with the outer pad, kept to finish the outer hash.
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl Hmac {
+    /// Creates an HMAC instance for `key`.
+    ///
+    /// Keys longer than the block size are first hashed, per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = Sha256::digest(key);
+            k[..d.as_bytes().len()].copy_from_slice(d.as_bytes());
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_key = [0u8; BLOCK_LEN];
+        let mut opad_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_key[i] = k[i] ^ 0x36;
+            opad_key[i] = k[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        Hmac { inner, opad_key }
+    }
+
+    /// Appends message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Builder-style [`update`](Self::update).
+    pub fn chain(mut self, data: &[u8]) -> Self {
+        self.update(data);
+        self
+    }
+
+    /// Finishes the computation and returns the authentication tag.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 4231 test vectors for HMAC-SHA256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"some key";
+        let msg: Vec<u8> = (0..129u8).collect();
+        for split in [0, 1, 63, 64, 65, 128, 129] {
+            let tag = Hmac::new(key)
+                .chain(&msg[..split])
+                .chain(&msg[split..])
+                .finalize();
+            assert_eq!(tag, hmac_sha256(key, &msg), "split {split}");
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Key management for a fixed replica population.
+//!
+//! ProBFT assumes "the distribution of keys is performed before the system
+//! starts" (§2.1). [`Keyring`] models that public-key infrastructure: it
+//! derives the full key universe for `n` replicas from a run seed, hands
+//! each replica its own [`SigningKey`], and lets anyone look up any
+//! replica's [`VerifyingKey`].
+//!
+//! # Examples
+//!
+//! ```
+//! use probft_crypto::keyring::Keyring;
+//!
+//! let ring = Keyring::generate(4, b"run-seed");
+//! let sk = ring.signing_key(2).unwrap();
+//! let sig = sk.sign(b"hello");
+//! assert!(ring.verifying_key(2).unwrap().verify(b"hello", &sig).is_ok());
+//! ```
+
+use crate::error::CryptoError;
+use crate::schnorr::{SigningKey, VerifyingKey};
+
+/// The pre-distributed keys of a replica population of size `n`.
+///
+/// Replicas are indexed `0..n`. (The paper numbers replicas `1..=n` in its
+/// `leader(v)` predicate; the protocol crate maps between the conventions.)
+#[derive(Clone, Debug)]
+pub struct Keyring {
+    signing: Vec<SigningKey>,
+    verifying: Vec<VerifyingKey>,
+}
+
+impl Keyring {
+    /// Generates keys for `n` replicas deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(n: usize, seed: &[u8]) -> Self {
+        assert!(n > 0, "population must be nonempty");
+        let signing: Vec<SigningKey> = (0..n)
+            .map(|i| {
+                let mut material = seed.to_vec();
+                material.extend_from_slice(b"|replica|");
+                material.extend_from_slice(&(i as u64).to_be_bytes());
+                SigningKey::from_seed(&material)
+            })
+            .collect();
+        let verifying = signing.iter().map(|sk| sk.verifying_key()).collect();
+        Keyring { signing, verifying }
+    }
+
+    /// The population size `n`.
+    pub fn len(&self) -> usize {
+        self.signing.len()
+    }
+
+    /// Whether the keyring is empty (never true for generated rings).
+    pub fn is_empty(&self) -> bool {
+        self.signing.is_empty()
+    }
+
+    /// The signing key of replica `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::UnknownReplica`] if `i` is out of range.
+    pub fn signing_key(&self, i: usize) -> Result<&SigningKey, CryptoError> {
+        self.signing.get(i).ok_or(CryptoError::UnknownReplica(i))
+    }
+
+    /// The verifying key of replica `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::UnknownReplica`] if `i` is out of range.
+    pub fn verifying_key(&self, i: usize) -> Result<&VerifyingKey, CryptoError> {
+        self.verifying.get(i).ok_or(CryptoError::UnknownReplica(i))
+    }
+
+    /// All verifying keys, indexed by replica.
+    pub fn verifying_keys(&self) -> &[VerifyingKey] {
+        &self.verifying
+    }
+
+    /// A public-only view of the keyring (what a verifier-only party holds).
+    pub fn public(&self) -> PublicKeyring {
+        PublicKeyring {
+            verifying: self.verifying.clone(),
+        }
+    }
+}
+
+/// The public half of a [`Keyring`]: every replica's verifying key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublicKeyring {
+    verifying: Vec<VerifyingKey>,
+}
+
+impl PublicKeyring {
+    /// Builds a public keyring from an explicit key list.
+    pub fn new(verifying: Vec<VerifyingKey>) -> Self {
+        PublicKeyring { verifying }
+    }
+
+    /// The population size `n`.
+    pub fn len(&self) -> usize {
+        self.verifying.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.verifying.is_empty()
+    }
+
+    /// The verifying key of replica `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::UnknownReplica`] if `i` is out of range.
+    pub fn verifying_key(&self, i: usize) -> Result<&VerifyingKey, CryptoError> {
+        self.verifying.get(i).ok_or(CryptoError::UnknownReplica(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Keyring::generate(5, b"seed");
+        let b = Keyring::generate(5, b"seed");
+        for i in 0..5 {
+            assert_eq!(a.verifying_key(i).unwrap(), b.verifying_key(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn distinct_replicas_distinct_keys() {
+        let ring = Keyring::generate(10, b"seed");
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_ne!(
+                    ring.verifying_key(i).unwrap(),
+                    ring.verifying_key(j).unwrap(),
+                    "replicas {i} and {j} share a key"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_universes() {
+        let a = Keyring::generate(3, b"seed-a");
+        let b = Keyring::generate(3, b"seed-b");
+        assert_ne!(a.verifying_key(0).unwrap(), b.verifying_key(0).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let ring = Keyring::generate(3, b"seed");
+        assert_eq!(
+            ring.signing_key(3).err(),
+            Some(CryptoError::UnknownReplica(3))
+        );
+        assert_eq!(
+            ring.verifying_key(99).err(),
+            Some(CryptoError::UnknownReplica(99))
+        );
+    }
+
+    #[test]
+    fn cross_replica_verification() {
+        let ring = Keyring::generate(4, b"seed");
+        let sig = ring.signing_key(1).unwrap().sign(b"msg");
+        assert!(ring.verifying_key(1).unwrap().verify(b"msg", &sig).is_ok());
+        assert!(ring.verifying_key(2).unwrap().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn public_view_matches() {
+        let ring = Keyring::generate(4, b"seed");
+        let public = ring.public();
+        assert_eq!(public.len(), 4);
+        for i in 0..4 {
+            assert_eq!(
+                public.verifying_key(i).unwrap(),
+                ring.verifying_key(i).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be nonempty")]
+    fn empty_population_panics() {
+        Keyring::generate(0, b"seed");
+    }
+}

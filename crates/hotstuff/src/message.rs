@@ -1,0 +1,618 @@
+//! Single-shot basic-HotStuff message types.
+//!
+//! HotStuff replaces PBFT's all-to-all exchanges with a star topology: every
+//! vote goes to the leader, which aggregates a quorum certificate (QC) and
+//! broadcasts it in the next phase's message. That makes the per-view
+//! message complexity linear (`O(n)`) — at the cost of more phases (the
+//! extra pre-commit round) and hence more communication steps than
+//! PBFT/ProBFT's three (Figure 1a of the ProBFT paper).
+
+use probft_core::config::View;
+use probft_core::error::RejectReason;
+use probft_core::message::VerifyCtx;
+use probft_core::value::Value;
+use probft_core::wire::{put, Reader, Wire, WireError};
+use probft_crypto::schnorr::{Signature, SigningKey, SIGNATURE_LEN};
+use probft_crypto::sha256::Digest;
+use probft_quorum::ReplicaId;
+use probft_simnet::metrics::Measurable;
+use std::collections::BTreeSet;
+
+/// The HotStuff voting phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HsPhase {
+    /// First round: vote on the leader's proposal.
+    Prepare,
+    /// Second round: vote on the prepare QC.
+    PreCommit,
+    /// Third round: vote on the pre-commit QC (locks the value).
+    Commit,
+}
+
+impl HsPhase {
+    fn tag(self) -> u8 {
+        match self {
+            HsPhase::Prepare => 1,
+            HsPhase::PreCommit => 2,
+            HsPhase::Commit => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            1 => Ok(HsPhase::Prepare),
+            2 => Ok(HsPhase::PreCommit),
+            3 => Ok(HsPhase::Commit),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+/// A phase vote sent to the leader.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HsVote {
+    /// The voter.
+    pub sender: ReplicaId,
+    /// The voting phase.
+    pub phase: HsPhase,
+    /// The vote's view.
+    pub view: View,
+    /// Digest of the value being voted.
+    pub digest: Digest,
+    /// The voter's signature.
+    pub signature: Signature,
+}
+
+impl HsVote {
+    fn signing_bytes(phase: HsPhase, sender: ReplicaId, view: View, digest: &Digest) -> Vec<u8> {
+        let mut out = b"hotstuff-vote|".to_vec();
+        out.push(phase.tag());
+        put::u32(&mut out, sender.0);
+        put::u64(&mut out, view.0);
+        out.extend_from_slice(digest.as_bytes());
+        out
+    }
+
+    /// Creates and signs a vote.
+    pub fn sign(
+        sk: &SigningKey,
+        phase: HsPhase,
+        sender: ReplicaId,
+        view: View,
+        digest: Digest,
+    ) -> Self {
+        let signature = sk.sign(&Self::signing_bytes(phase, sender, view, &digest));
+        HsVote {
+            sender,
+            phase,
+            view,
+            digest,
+            signature,
+        }
+    }
+
+    /// Verifies the signature.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::BadSignature`] or [`RejectReason::UnknownSender`].
+    pub fn verify(&self, ctx: &VerifyCtx<'_>) -> Result<(), RejectReason> {
+        let pk = ctx
+            .keys
+            .verifying_key(self.sender.index())
+            .map_err(|_| RejectReason::UnknownSender(self.sender))?;
+        pk.verify(
+            &Self::signing_bytes(self.phase, self.sender, self.view, &self.digest),
+            &self.signature,
+        )
+        .map_err(|_| RejectReason::BadSignature)
+    }
+}
+
+impl Wire for HsVote {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.phase.tag());
+        put::u32(out, self.sender.0);
+        put::u64(out, self.view.0);
+        out.extend_from_slice(self.digest.as_bytes());
+        out.extend_from_slice(&self.signature.to_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let phase = HsPhase::from_tag(r.u8()?)?;
+        let sender = ReplicaId(r.u32()?);
+        let view = View(r.u64()?);
+        let digest = Digest(r.array::<32>()?);
+        let signature = Signature::from_bytes(r.array::<SIGNATURE_LEN>()?)
+            .ok_or(WireError::BadCrypto("signature"))?;
+        Ok(HsVote {
+            sender,
+            phase,
+            view,
+            digest,
+            signature,
+        })
+    }
+}
+
+/// A quorum certificate: `⌈(n+f+1)/2⌉` matching votes for one phase.
+///
+/// Production HotStuff aggregates these with threshold signatures; here the
+/// QC carries the individual votes, which keeps the substrate dependency-
+/// free and makes QC sizes honest in the byte metrics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Qc {
+    /// The certified phase.
+    pub phase: HsPhase,
+    /// The certified view.
+    pub view: View,
+    /// The certified value (carried whole so replicas that missed the
+    /// proposal can still adopt it).
+    pub value: Value,
+    /// The aggregated votes.
+    pub votes: Vec<HsVote>,
+}
+
+impl Qc {
+    /// Verifies the certificate: enough distinct valid votes matching
+    /// `(phase, view, value)`.
+    pub fn is_valid(&self, ctx: &VerifyCtx<'_>) -> bool {
+        let digest = self.value.digest();
+        let mut senders: BTreeSet<ReplicaId> = BTreeSet::new();
+        for vote in &self.votes {
+            if vote.phase == self.phase
+                && vote.view == self.view
+                && vote.digest == digest
+                && vote.verify(ctx).is_ok()
+            {
+                senders.insert(vote.sender);
+            }
+        }
+        senders.len() >= ctx.cfg.deterministic_quorum()
+    }
+}
+
+impl Wire for Qc {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.phase.tag());
+        put::u64(out, self.view.0);
+        self.value.encode(out);
+        put::u64(out, self.votes.len() as u64);
+        for v in &self.votes {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let phase = HsPhase::from_tag(r.u8()?)?;
+        let view = View(r.u64()?);
+        let value = Value::decode(r)?;
+        let count = r.len_prefix()?;
+        let mut votes = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            votes.push(HsVote::decode(r)?);
+        }
+        Ok(Qc {
+            phase,
+            view,
+            value,
+            votes,
+        })
+    }
+}
+
+/// A leader broadcast: the proposal or a phase-advancing QC.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LeaderBroadcast {
+    /// The leader's proposal, justified by the highest prepare QC it saw
+    /// (if any).
+    Propose {
+        /// The proposed value.
+        value: Value,
+        /// The justifying prepare QC from an earlier view.
+        high_qc: Option<Qc>,
+    },
+    /// Prepare QC → start pre-commit voting.
+    PreCommit(Qc),
+    /// Pre-commit QC → start commit voting (locks replicas).
+    Commit(Qc),
+    /// Commit QC → decide.
+    Decide(Qc),
+}
+
+/// Any single-shot HotStuff message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HsMessage {
+    /// View-change report to the new leader, carrying the sender's highest
+    /// prepare QC.
+    NewView {
+        /// The signer.
+        sender: ReplicaId,
+        /// The view being entered.
+        view: View,
+        /// The sender's highest prepare QC.
+        prepare_qc: Option<Qc>,
+        /// The sender's signature.
+        signature: Signature,
+    },
+    /// A leader broadcast for `view`, signed by the leader.
+    Broadcast {
+        /// The leader (signer).
+        sender: ReplicaId,
+        /// The broadcast's view.
+        view: View,
+        /// The payload.
+        payload: LeaderBroadcast,
+        /// The leader's signature.
+        signature: Signature,
+    },
+    /// A phase vote to the leader.
+    Vote(HsVote),
+    /// Synchronizer wish (shared with ProBFT).
+    Wish(probft_core::message::Wish),
+}
+
+impl HsMessage {
+    fn new_view_bytes(sender: ReplicaId, view: View, prepare_qc: &Option<Qc>) -> Vec<u8> {
+        let mut out = b"hotstuff-newview|".to_vec();
+        put::u32(&mut out, sender.0);
+        put::u64(&mut out, view.0);
+        match prepare_qc {
+            Some(qc) => {
+                out.push(1);
+                qc.encode(&mut out);
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    fn broadcast_bytes(sender: ReplicaId, view: View, payload: &LeaderBroadcast) -> Vec<u8> {
+        let mut out = b"hotstuff-broadcast|".to_vec();
+        put::u32(&mut out, sender.0);
+        put::u64(&mut out, view.0);
+        payload.encode(&mut out);
+        out
+    }
+
+    /// Creates and signs a NewView.
+    pub fn sign_new_view(
+        sk: &SigningKey,
+        sender: ReplicaId,
+        view: View,
+        prepare_qc: Option<Qc>,
+    ) -> Self {
+        let signature = sk.sign(&Self::new_view_bytes(sender, view, &prepare_qc));
+        HsMessage::NewView {
+            sender,
+            view,
+            prepare_qc,
+            signature,
+        }
+    }
+
+    /// Creates and signs a leader broadcast.
+    pub fn sign_broadcast(
+        sk: &SigningKey,
+        sender: ReplicaId,
+        view: View,
+        payload: LeaderBroadcast,
+    ) -> Self {
+        let signature = sk.sign(&Self::broadcast_bytes(sender, view, &payload));
+        HsMessage::Broadcast {
+            sender,
+            view,
+            payload,
+            signature,
+        }
+    }
+
+    /// The view this message belongs to.
+    pub fn view(&self) -> View {
+        match self {
+            HsMessage::NewView { view, .. } | HsMessage::Broadcast { view, .. } => *view,
+            HsMessage::Vote(v) => v.view,
+            HsMessage::Wish(w) => w.view,
+        }
+    }
+
+    /// Full cryptographic verification (signatures; QC quorum checks are
+    /// separate, protocol-level decisions).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RejectReason`] describing the first failed check.
+    pub fn verify(&self, ctx: &VerifyCtx<'_>) -> Result<(), RejectReason> {
+        match self {
+            HsMessage::NewView {
+                sender,
+                view,
+                prepare_qc,
+                signature,
+            } => {
+                let pk = ctx
+                    .keys
+                    .verifying_key(sender.index())
+                    .map_err(|_| RejectReason::UnknownSender(*sender))?;
+                pk.verify(&Self::new_view_bytes(*sender, *view, prepare_qc), signature)
+                    .map_err(|_| RejectReason::BadSignature)
+            }
+            HsMessage::Broadcast {
+                sender,
+                view,
+                payload,
+                signature,
+            } => {
+                if ctx.cfg.leader_of(*view) != *sender {
+                    return Err(RejectReason::WrongLeader {
+                        view: *view,
+                        claimed: *sender,
+                    });
+                }
+                let pk = ctx
+                    .keys
+                    .verifying_key(sender.index())
+                    .map_err(|_| RejectReason::UnknownSender(*sender))?;
+                pk.verify(&Self::broadcast_bytes(*sender, *view, payload), signature)
+                    .map_err(|_| RejectReason::BadSignature)
+            }
+            HsMessage::Vote(v) => v.verify(ctx),
+            HsMessage::Wish(w) => w.verify(ctx),
+        }
+    }
+}
+
+impl Wire for LeaderBroadcast {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            LeaderBroadcast::Propose { value, high_qc } => {
+                out.push(1);
+                value.encode(out);
+                match high_qc {
+                    Some(qc) => {
+                        out.push(1);
+                        qc.encode(out);
+                    }
+                    None => out.push(0),
+                }
+            }
+            LeaderBroadcast::PreCommit(qc) => {
+                out.push(2);
+                qc.encode(out);
+            }
+            LeaderBroadcast::Commit(qc) => {
+                out.push(3);
+                qc.encode(out);
+            }
+            LeaderBroadcast::Decide(qc) => {
+                out.push(4);
+                qc.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            1 => {
+                let value = Value::decode(r)?;
+                let high_qc = match r.u8()? {
+                    0 => None,
+                    1 => Some(Qc::decode(r)?),
+                    t => return Err(WireError::UnknownTag(t)),
+                };
+                Ok(LeaderBroadcast::Propose { value, high_qc })
+            }
+            2 => Ok(LeaderBroadcast::PreCommit(Qc::decode(r)?)),
+            3 => Ok(LeaderBroadcast::Commit(Qc::decode(r)?)),
+            4 => Ok(LeaderBroadcast::Decide(Qc::decode(r)?)),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+impl Wire for HsMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            HsMessage::NewView {
+                sender,
+                view,
+                prepare_qc,
+                signature,
+            } => {
+                out.push(1);
+                put::u32(out, sender.0);
+                put::u64(out, view.0);
+                match prepare_qc {
+                    Some(qc) => {
+                        out.push(1);
+                        qc.encode(out);
+                    }
+                    None => out.push(0),
+                }
+                out.extend_from_slice(&signature.to_bytes());
+            }
+            HsMessage::Broadcast {
+                sender,
+                view,
+                payload,
+                signature,
+            } => {
+                out.push(2);
+                put::u32(out, sender.0);
+                put::u64(out, view.0);
+                payload.encode(out);
+                out.extend_from_slice(&signature.to_bytes());
+            }
+            HsMessage::Vote(v) => {
+                out.push(3);
+                v.encode(out);
+            }
+            HsMessage::Wish(w) => {
+                out.push(4);
+                w.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            1 => {
+                let sender = ReplicaId(r.u32()?);
+                let view = View(r.u64()?);
+                let prepare_qc = match r.u8()? {
+                    0 => None,
+                    1 => Some(Qc::decode(r)?),
+                    t => return Err(WireError::UnknownTag(t)),
+                };
+                let signature = Signature::from_bytes(r.array::<SIGNATURE_LEN>()?)
+                    .ok_or(WireError::BadCrypto("signature"))?;
+                Ok(HsMessage::NewView {
+                    sender,
+                    view,
+                    prepare_qc,
+                    signature,
+                })
+            }
+            2 => {
+                let sender = ReplicaId(r.u32()?);
+                let view = View(r.u64()?);
+                let payload = LeaderBroadcast::decode(r)?;
+                let signature = Signature::from_bytes(r.array::<SIGNATURE_LEN>()?)
+                    .ok_or(WireError::BadCrypto("signature"))?;
+                Ok(HsMessage::Broadcast {
+                    sender,
+                    view,
+                    payload,
+                    signature,
+                })
+            }
+            3 => Ok(HsMessage::Vote(HsVote::decode(r)?)),
+            4 => Ok(HsMessage::Wish(probft_core::message::Wish::decode(r)?)),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+impl Measurable for HsMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            HsMessage::NewView { .. } => "NewView",
+            HsMessage::Broadcast { payload, .. } => match payload {
+                LeaderBroadcast::Propose { .. } => "Propose",
+                LeaderBroadcast::PreCommit(_) => "PreCommit",
+                LeaderBroadcast::Commit(_) => "Commit",
+                LeaderBroadcast::Decide(_) => "Decide",
+            },
+            HsMessage::Vote(v) => match v.phase {
+                HsPhase::Prepare => "VotePrepare",
+                HsPhase::PreCommit => "VotePreCommit",
+                HsPhase::Commit => "VoteCommit",
+            },
+            HsMessage::Wish(_) => "Wish",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        self.to_wire_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probft_core::config::ProbftConfig;
+    use probft_crypto::keyring::Keyring;
+
+    fn setup() -> (ProbftConfig, Keyring) {
+        (
+            ProbftConfig::builder(7).quorum_multiplier(1.0).build(),
+            Keyring::generate(7, b"hs-msg"),
+        )
+    }
+
+    #[test]
+    fn vote_round_trip() {
+        let (cfg, ring) = setup();
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        let v = HsVote::sign(
+            ring.signing_key(1).unwrap(),
+            HsPhase::PreCommit,
+            ReplicaId(1),
+            View(3),
+            Value::from_tag(1).digest(),
+        );
+        assert!(v.verify(&ctx).is_ok());
+        let wire = HsMessage::Vote(v);
+        assert_eq!(HsMessage::from_wire_bytes(&wire.to_wire_bytes()).unwrap(), wire);
+    }
+
+    #[test]
+    fn qc_validity() {
+        let (cfg, ring) = setup();
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        let value = Value::from_tag(5);
+        let dq = cfg.deterministic_quorum();
+        let votes: Vec<HsVote> = (0..dq)
+            .map(|i| {
+                HsVote::sign(
+                    ring.signing_key(i).unwrap(),
+                    HsPhase::Prepare,
+                    ReplicaId::from(i),
+                    View(1),
+                    value.digest(),
+                )
+            })
+            .collect();
+        let qc = Qc {
+            phase: HsPhase::Prepare,
+            view: View(1),
+            value: value.clone(),
+            votes: votes.clone(),
+        };
+        assert!(qc.is_valid(&ctx));
+
+        let undersized = Qc {
+            phase: HsPhase::Prepare,
+            view: View(1),
+            value: value.clone(),
+            votes: votes[..dq - 1].to_vec(),
+        };
+        assert!(!undersized.is_valid(&ctx));
+
+        let wrong_phase = Qc {
+            phase: HsPhase::Commit,
+            view: View(1),
+            value,
+            votes,
+        };
+        assert!(!wrong_phase.is_valid(&ctx));
+    }
+
+    #[test]
+    fn broadcast_requires_leader() {
+        let (cfg, ring) = setup();
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        // Replica 3 is not the leader of view 1.
+        let msg = HsMessage::sign_broadcast(
+            ring.signing_key(3).unwrap(),
+            ReplicaId(3),
+            View(1),
+            LeaderBroadcast::Propose {
+                value: Value::from_tag(1),
+                high_qc: None,
+            },
+        );
+        assert!(matches!(
+            msg.verify(&ctx),
+            Err(RejectReason::WrongLeader { .. })
+        ));
+    }
+
+    #[test]
+    fn new_view_round_trip() {
+        let (cfg, ring) = setup();
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        let msg = HsMessage::sign_new_view(ring.signing_key(2).unwrap(), ReplicaId(2), View(4), None);
+        assert!(msg.verify(&ctx).is_ok());
+        assert_eq!(HsMessage::from_wire_bytes(&msg.to_wire_bytes()).unwrap(), msg);
+    }
+}

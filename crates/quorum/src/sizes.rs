@@ -1,0 +1,141 @@
+//! Quorum- and sample-size computations.
+//!
+//! Three sizes govern the protocols in this workspace:
+//!
+//! - The **deterministic quorum** `⌈(n+f+1)/2⌉` used by PBFT, HotStuff, and
+//!   by ProBFT's view change (NewLeader collection, paper §3.2 and Fig. 2).
+//! - The **probabilistic quorum** `q = ⌈l·√n⌉` (paper §3.1: "probabilistic
+//!   quorums of size q = l√n, with l ≥ 1 being a configurable, typically
+//!   small constant").
+//! - The **recipient sample** `s = ⌈o·q⌉`, `o > 1`, to which Prepare and
+//!   Commit messages are multicast.
+
+/// The deterministic (PBFT-style) quorum size `⌈(n+f+1)/2⌉`.
+///
+/// Two such quorums intersect in at least one correct replica whenever
+/// `f < n/3`.
+///
+/// # Panics
+///
+/// Panics if `f ≥ n/3` (i.e. unless `n ≥ 3f + 1`).
+pub fn deterministic_quorum(n: usize, f: usize) -> usize {
+    assert!(n >= 3 * f + 1, "requires n ≥ 3f+1 (got n={n}, f={f})");
+    (n + f + 1).div_ceil(2)
+}
+
+/// The maximum number of Byzantine faults tolerable with `n` replicas:
+/// the largest `f` with `f < n/3`.
+pub fn max_faults(n: usize) -> usize {
+    n.saturating_sub(1) / 3
+}
+
+/// The probabilistic quorum size `q = ⌈l·√n⌉` (paper §3.1).
+///
+/// # Panics
+///
+/// Panics if `l < 1` or `n == 0`, or if the result would exceed `n`.
+pub fn probabilistic_quorum(n: usize, l: f64) -> usize {
+    assert!(n > 0, "population must be nonempty");
+    assert!(l >= 1.0, "quorum multiplier l must be ≥ 1 (got {l})");
+    let q = (l * (n as f64).sqrt()).ceil() as usize;
+    assert!(
+        q <= n,
+        "probabilistic quorum q={q} exceeds population n={n}; lower l"
+    );
+    q.max(1)
+}
+
+/// The recipient-sample size `s = ⌈o·q⌉` (paper §3.1).
+///
+/// The constant `o > 1` "defines how large the random subset of replicas
+/// contacted on each phase by each replica is when compared with the
+/// probabilistic quorum size"; larger `o` raises the probability of forming
+/// a quorum at the cost of more messages (Fig. 1b).
+///
+/// # Panics
+///
+/// Panics if `o < 1` or `q == 0`.
+pub fn sample_size(q: usize, o: f64) -> usize {
+    assert!(q > 0, "quorum size must be positive");
+    assert!(o >= 1.0, "overprovision factor o must be ≥ 1 (got {o})");
+    (o * q as f64).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_matches_pbft_examples() {
+        // Paper §3.1: n = 100 needs 67 messages in PBFT (f = 33).
+        assert_eq!(deterministic_quorum(100, 33), 67);
+        assert_eq!(deterministic_quorum(4, 1), 3);
+        assert_eq!(deterministic_quorum(7, 2), 5);
+        assert_eq!(deterministic_quorum(10, 3), 7);
+    }
+
+    #[test]
+    fn deterministic_quorums_intersect_in_a_correct_replica() {
+        for f in 0..40 {
+            let n = 3 * f + 1;
+            let quorum = deterministic_quorum(n, f);
+            // |Q1 ∩ Q2| ≥ 2*quorum − n, which must exceed f.
+            assert!(
+                2 * quorum - n >= f + 1,
+                "n={n} f={f}: intersection may be fully Byzantine"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilistic_matches_paper_example() {
+        // Paper §3.1: l = 2, n = 100 → 20 matching messages suffice.
+        assert_eq!(probabilistic_quorum(100, 2.0), 20);
+        assert_eq!(probabilistic_quorum(400, 2.0), 40);
+        assert_eq!(probabilistic_quorum(1, 1.0), 1);
+    }
+
+    #[test]
+    fn sample_size_matches_paper_operating_points() {
+        let q = probabilistic_quorum(100, 2.0);
+        assert_eq!(sample_size(q, 1.6), 32);
+        assert_eq!(sample_size(q, 1.7), 34);
+        assert_eq!(sample_size(q, 1.8), 36);
+    }
+
+    #[test]
+    fn max_faults_is_strictly_below_n_over_3() {
+        assert_eq!(max_faults(4), 1);
+        assert_eq!(max_faults(100), 33);
+        assert_eq!(max_faults(3), 0);
+        assert_eq!(max_faults(1), 0);
+        for n in 1..200 {
+            assert!(3 * max_faults(n) < n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 3f+1")]
+    fn deterministic_rejects_too_many_faults() {
+        deterministic_quorum(9, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn probabilistic_rejects_small_l() {
+        probabilistic_quorum(100, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds population")]
+    fn probabilistic_rejects_oversized_quorum() {
+        probabilistic_quorum(4, 3.0);
+    }
+
+    #[test]
+    fn quorum_grows_as_sqrt_n() {
+        let q100 = probabilistic_quorum(100, 2.0);
+        let q400 = probabilistic_quorum(400, 2.0);
+        assert_eq!(q400, 2 * q100, "quadrupling n doubles q");
+    }
+}

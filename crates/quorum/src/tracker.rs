@@ -1,0 +1,220 @@
+//! Accumulation of matching messages until a quorum threshold is reached.
+//!
+//! Every phase of every protocol in this workspace follows the same shape:
+//! *collect messages that "match" (same view, same value digest) from
+//! distinct senders; act once a threshold-many have arrived*. The
+//! [`QuorumTracker`] factors that logic out: it is keyed by an arbitrary
+//! matching key `K` and stores per-sender payloads `M` (e.g. the full signed
+//! message, needed later to assemble certificates).
+//!
+//! Duplicate votes from the same sender for the same key are ignored — a
+//! Byzantine replica cannot inflate a quorum by repeating itself (first
+//! message wins, matching the "receive from a quorum of *distinct*
+//! replicas" wording of Algorithm 1).
+
+use crate::ReplicaId;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// Result of inserting a vote into a [`QuorumTracker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuorumOutcome {
+    /// The vote was recorded; the threshold is not yet reached.
+    Pending {
+        /// Votes recorded for this key so far.
+        count: usize,
+    },
+    /// This vote completed the quorum (fires exactly once per key).
+    Reached,
+    /// The quorum for this key had already been reached earlier.
+    AlreadyReached,
+    /// This sender already voted for this key; the vote was ignored.
+    Duplicate,
+}
+
+/// Collects votes from distinct senders, keyed by a matching key.
+///
+/// # Examples
+///
+/// ```
+/// use probft_quorum::{QuorumOutcome, QuorumTracker, ReplicaId};
+///
+/// let mut votes: QuorumTracker<&str, ()> = QuorumTracker::new(2);
+/// assert_eq!(votes.insert("v1:digest", ReplicaId(0), ()), QuorumOutcome::Pending { count: 1 });
+/// assert_eq!(votes.insert("v1:digest", ReplicaId(0), ()), QuorumOutcome::Duplicate);
+/// assert_eq!(votes.insert("v1:digest", ReplicaId(1), ()), QuorumOutcome::Reached);
+/// ```
+#[derive(Clone)]
+pub struct QuorumTracker<K, M> {
+    threshold: usize,
+    votes: HashMap<K, BTreeMap<ReplicaId, M>>,
+    reached: HashMap<K, bool>,
+}
+
+impl<K: Eq + Hash + Clone, M> QuorumTracker<K, M> {
+    /// Creates a tracker that fires once `threshold` distinct senders have
+    /// voted for the same key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`.
+    pub fn new(threshold: usize) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        QuorumTracker {
+            threshold,
+            votes: HashMap::new(),
+            reached: HashMap::new(),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Records a vote. See [`QuorumOutcome`] for the possible results.
+    pub fn insert(&mut self, key: K, sender: ReplicaId, payload: M) -> QuorumOutcome {
+        let entry = self.votes.entry(key.clone()).or_default();
+        if entry.contains_key(&sender) {
+            return QuorumOutcome::Duplicate;
+        }
+        entry.insert(sender, payload);
+        let count = entry.len();
+        let reached_flag = self.reached.entry(key).or_insert(false);
+        if *reached_flag {
+            QuorumOutcome::AlreadyReached
+        } else if count >= self.threshold {
+            *reached_flag = true;
+            QuorumOutcome::Reached
+        } else {
+            QuorumOutcome::Pending { count }
+        }
+    }
+
+    /// Number of distinct senders that voted for `key`.
+    pub fn count(&self, key: &K) -> usize {
+        self.votes.get(key).map_or(0, BTreeMap::len)
+    }
+
+    /// Whether the quorum for `key` has been reached.
+    pub fn is_reached(&self, key: &K) -> bool {
+        self.reached.get(key).copied().unwrap_or(false)
+    }
+
+    /// The votes collected for `key`, ordered by sender.
+    pub fn votes(&self, key: &K) -> impl Iterator<Item = (ReplicaId, &M)> {
+        self.votes
+            .get(key)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(id, p)| (*id, p)))
+    }
+
+    /// The senders that voted for `key`, in ascending order.
+    pub fn senders(&self, key: &K) -> Vec<ReplicaId> {
+        self.votes
+            .get(key)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of keys with at least one vote.
+    pub fn keys_len(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Removes all state (e.g. on view change).
+    pub fn clear(&mut self) {
+        self.votes.clear();
+        self.reached.clear();
+    }
+}
+
+impl<K: fmt::Debug, M> fmt::Debug for QuorumTracker<K, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuorumTracker")
+            .field("threshold", &self.threshold)
+            .field("keys", &self.votes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_fires_exactly_once() {
+        let mut t: QuorumTracker<u64, &str> = QuorumTracker::new(3);
+        assert_eq!(t.insert(1, ReplicaId(0), "a"), QuorumOutcome::Pending { count: 1 });
+        assert_eq!(t.insert(1, ReplicaId(1), "b"), QuorumOutcome::Pending { count: 2 });
+        assert_eq!(t.insert(1, ReplicaId(2), "c"), QuorumOutcome::Reached);
+        assert_eq!(t.insert(1, ReplicaId(3), "d"), QuorumOutcome::AlreadyReached);
+        assert!(t.is_reached(&1));
+        assert_eq!(t.count(&1), 4);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut t: QuorumTracker<u64, ()> = QuorumTracker::new(2);
+        assert_eq!(t.insert(9, ReplicaId(5), ()), QuorumOutcome::Pending { count: 1 });
+        for _ in 0..10 {
+            assert_eq!(t.insert(9, ReplicaId(5), ()), QuorumOutcome::Duplicate);
+        }
+        assert_eq!(t.count(&9), 1);
+        assert!(!t.is_reached(&9));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut t: QuorumTracker<&str, ()> = QuorumTracker::new(2);
+        t.insert("x", ReplicaId(0), ());
+        t.insert("y", ReplicaId(0), ());
+        t.insert("x", ReplicaId(1), ());
+        assert!(t.is_reached(&"x"));
+        assert!(!t.is_reached(&"y"));
+        assert_eq!(t.keys_len(), 2);
+    }
+
+    #[test]
+    fn votes_and_senders_sorted_by_replica() {
+        let mut t: QuorumTracker<u8, u8> = QuorumTracker::new(10);
+        t.insert(0, ReplicaId(5), 50);
+        t.insert(0, ReplicaId(1), 10);
+        t.insert(0, ReplicaId(3), 30);
+        assert_eq!(t.senders(&0), vec![ReplicaId(1), ReplicaId(3), ReplicaId(5)]);
+        let payloads: Vec<u8> = t.votes(&0).map(|(_, p)| *p).collect();
+        assert_eq!(payloads, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t: QuorumTracker<u8, ()> = QuorumTracker::new(1);
+        t.insert(0, ReplicaId(0), ());
+        assert!(t.is_reached(&0));
+        t.clear();
+        assert!(!t.is_reached(&0));
+        assert_eq!(t.count(&0), 0);
+        assert_eq!(t.keys_len(), 0);
+    }
+
+    #[test]
+    fn threshold_one_fires_immediately() {
+        let mut t: QuorumTracker<u8, ()> = QuorumTracker::new(1);
+        assert_eq!(t.insert(0, ReplicaId(9), ()), QuorumOutcome::Reached);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        let _: QuorumTracker<u8, ()> = QuorumTracker::new(0);
+    }
+
+    #[test]
+    fn missing_key_queries() {
+        let t: QuorumTracker<u8, ()> = QuorumTracker::new(2);
+        assert_eq!(t.count(&42), 0);
+        assert!(!t.is_reached(&42));
+        assert!(t.senders(&42).is_empty());
+    }
+}

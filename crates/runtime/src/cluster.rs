@@ -1,0 +1,403 @@
+//! Thread-per-replica TCP cluster running the unmodified ProBFT replica.
+//!
+//! Each replica owns a listener socket on `127.0.0.1:base_port + id`, a
+//! deadline-driven event loop (mpsc channel + timer heap), and lazy
+//! outgoing connections to its peers. Frames carry `u32 sender ‖ message
+//! bytes`; the replica's own cryptographic verification decides what to
+//! trust, exactly as in the simulator.
+
+use crate::transport::{read_frame, write_frame, FrameError};
+use probft_core::config::{ProbftConfig, SharedConfig};
+use probft_core::message::Message;
+use probft_core::replica::{Decision, Replica};
+use probft_core::value::Value;
+use probft_core::wire::Wire;
+use probft_crypto::keyring::Keyring;
+use probft_quorum::ReplicaId;
+use probft_simnet::process::{Action, Context, Process, ProcessId, TimerToken};
+use probft_simnet::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Errors from running a live cluster.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A listener could not bind (port in use?).
+    Bind(std::io::Error),
+    /// Not all replicas decided within the configured deadline.
+    Timeout {
+        /// How many decisions arrived in time.
+        decided: usize,
+        /// Cluster size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Bind(e) => write!(f, "failed to bind listener: {e}"),
+            ClusterError::Timeout { decided, n } => {
+                write!(f, "only {decided}/{n} replicas decided before the deadline")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+/// Builds and runs a localhost TCP ProBFT cluster.
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    n: usize,
+    base_port: u16,
+    seed: u64,
+    deadline: Duration,
+}
+
+impl ClusterBuilder {
+    /// Starts building an `n`-replica cluster.
+    pub fn new(n: usize) -> Self {
+        ClusterBuilder {
+            n,
+            base_port: 45_000,
+            seed: 1,
+            deadline: Duration::from_secs(30),
+        }
+    }
+
+    /// First TCP port; replica `i` listens on `base_port + i`.
+    pub fn base_port(mut self, port: u16) -> Self {
+        self.base_port = port;
+        self
+    }
+
+    /// Key-generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overall deadline for all replicas to decide.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Runs the cluster to decision on every replica.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Bind`] if a port cannot be bound,
+    /// [`ClusterError::Timeout`] if the deadline passes first.
+    pub fn run(self) -> Result<Vec<Decision>, ClusterError> {
+        let cfg: SharedConfig = Arc::new(ProbftConfig::builder(self.n).build());
+        let keyring = Keyring::generate(self.n, &self.seed.to_be_bytes());
+        let public = Arc::new(keyring.public());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (decision_tx, decision_rx) = mpsc::channel::<(usize, Decision)>();
+
+        // Bind all listeners up front so peers can connect immediately.
+        let mut listeners = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let addr = format!("127.0.0.1:{}", self.base_port + i as u16);
+            listeners.push(TcpListener::bind(&addr).map_err(ClusterError::Bind)?);
+        }
+
+        let mut handles = Vec::with_capacity(self.n);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let cfg = cfg.clone();
+            let sk = keyring.signing_key(i).expect("in range").clone();
+            let public = public.clone();
+            let shutdown = shutdown.clone();
+            let decision_tx = decision_tx.clone();
+            let base_port = self.base_port;
+            let n = self.n;
+            handles.push(thread::spawn(move || {
+                replica_main(
+                    i, n, base_port, listener, cfg, sk, public, shutdown, decision_tx,
+                );
+            }));
+        }
+        drop(decision_tx);
+
+        // Collect decisions until the deadline.
+        let start = Instant::now();
+        let mut decisions: Vec<Option<Decision>> = vec![None; self.n];
+        let mut decided = 0usize;
+        while decided < self.n {
+            let remaining = self
+                .deadline
+                .checked_sub(start.elapsed())
+                .unwrap_or(Duration::ZERO);
+            match decision_rx.recv_timeout(remaining.max(Duration::from_millis(1))) {
+                Ok((id, d)) => {
+                    if decisions[id].is_none() {
+                        decisions[id] = Some(d);
+                        decided += 1;
+                    }
+                }
+                Err(_) if start.elapsed() >= self.deadline => break,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        shutdown.store(true, Ordering::SeqCst);
+        for h in handles {
+            let _ = h.join();
+        }
+
+        if decided < self.n {
+            return Err(ClusterError::Timeout {
+                decided,
+                n: self.n,
+            });
+        }
+        Ok(decisions.into_iter().map(|d| d.expect("all decided")).collect())
+    }
+}
+
+/// Inbound events to a replica's event loop.
+enum Event {
+    Net(ProcessId, Message),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replica_main(
+    id: usize,
+    n: usize,
+    base_port: u16,
+    listener: TcpListener,
+    cfg: SharedConfig,
+    sk: probft_crypto::schnorr::SigningKey,
+    public: Arc<probft_crypto::keyring::PublicKeyring>,
+    shutdown: Arc<AtomicBool>,
+    decision_tx: mpsc::Sender<(usize, Decision)>,
+) {
+    let (event_tx, event_rx) = mpsc::channel::<Event>();
+
+    // Accept loop: one reader thread per inbound connection.
+    {
+        let event_tx = event_tx.clone();
+        let shutdown = shutdown.clone();
+        listener.set_nonblocking(true).expect("set_nonblocking");
+        thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let event_tx = event_tx.clone();
+                        let shutdown = shutdown.clone();
+                        thread::spawn(move || reader_loop(stream, event_tx, shutdown));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+    }
+
+    let mut replica = Replica::new(
+        cfg,
+        ReplicaId::from(id),
+        sk,
+        public,
+        Value::from_tag(id as u64),
+    );
+    let mut rng = StdRng::seed_from_u64(0xC1A5 ^ id as u64);
+    let mut peers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    let mut timers: BinaryHeap<Reverse<(Instant, TimerToken)>> = BinaryHeap::new();
+    let started = Instant::now();
+    let now_sim = |started: Instant| SimTime::from_ticks(started.elapsed().as_micros() as u64);
+    let mut reported = false;
+
+    // Start the protocol.
+    let actions = {
+        let mut ctx: Context<'_, Message> =
+            Context::detached(ProcessId(id), now_sim(started), &mut rng);
+        replica.on_start(&mut ctx);
+        ctx.drain_actions()
+    };
+    apply_actions(id, n, base_port, actions, &mut peers, &mut timers, started);
+
+    while !shutdown.load(Ordering::SeqCst) {
+        // Fire due timers.
+        while let Some(Reverse((deadline, token))) = timers.peek().copied() {
+            if deadline > Instant::now() {
+                break;
+            }
+            timers.pop();
+            let actions = {
+                let mut ctx: Context<'_, Message> =
+                    Context::detached(ProcessId(id), now_sim(started), &mut rng);
+                replica.on_timer(token, &mut ctx);
+                ctx.drain_actions()
+            };
+            apply_actions(id, n, base_port, actions, &mut peers, &mut timers, started);
+        }
+
+        // Wait for the next event or timer deadline.
+        let wait = timers
+            .peek()
+            .map(|Reverse((deadline, _))| {
+                deadline.saturating_duration_since(Instant::now())
+            })
+            .unwrap_or(Duration::from_millis(20))
+            .min(Duration::from_millis(20));
+        match event_rx.recv_timeout(wait) {
+            Ok(Event::Net(from, msg)) => {
+                let actions = {
+                    let mut ctx: Context<'_, Message> =
+                        Context::detached(ProcessId(id), now_sim(started), &mut rng);
+                    replica.on_message(from, msg, &mut ctx);
+                    ctx.drain_actions()
+                };
+                apply_actions(id, n, base_port, actions, &mut peers, &mut timers, started);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+
+        if !reported {
+            if let Some(d) = replica.decision() {
+                reported = true;
+                let _ = decision_tx.send((id, d.clone()));
+            }
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, event_tx: mpsc::Sender<Event>, shutdown: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut reader = BufReader::new(stream);
+    while !shutdown.load(Ordering::SeqCst) {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => {
+                if frame.len() < 4 {
+                    continue;
+                }
+                let from = u32::from_be_bytes(frame[..4].try_into().expect("4 bytes"));
+                match Message::from_wire_bytes(&frame[4..]) {
+                    Ok(msg) => {
+                        if event_tx
+                            .send(Event::Net(ProcessId(from as usize), msg))
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(_) => continue, // malformed: drop, as a real node would
+                }
+            }
+            Ok(None) => return, // peer closed
+            Err(FrameError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn apply_actions(
+    id: usize,
+    n: usize,
+    base_port: u16,
+    actions: Vec<Action<Message>>,
+    peers: &mut [Option<TcpStream>],
+    timers: &mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
+    _started: Instant,
+) {
+    for action in actions {
+        match action {
+            Action::Send { to, msg } => {
+                if to.index() >= n {
+                    continue;
+                }
+                let mut frame = (id as u32).to_be_bytes().to_vec();
+                msg.encode(&mut frame);
+                if let Some(stream) = connect_peer(peers, to.index(), base_port) {
+                    if write_frame(stream, &frame).is_err() {
+                        peers[to.index()] = None; // drop broken link; retry later
+                    }
+                }
+            }
+            Action::SetTimer { delay, token } => {
+                let deadline = Instant::now() + tick_to_duration(delay);
+                timers.push(Reverse((deadline, token)));
+            }
+            Action::Halt => {}
+        }
+    }
+}
+
+/// One simulator tick = one microsecond of wall time.
+fn tick_to_duration(d: SimDuration) -> Duration {
+    Duration::from_micros(d.ticks())
+}
+
+fn connect_peer<'a>(
+    peers: &'a mut [Option<TcpStream>],
+    to: usize,
+    base_port: u16,
+) -> Option<&'a mut TcpStream> {
+    if peers[to].is_none() {
+        let addr = format!("127.0.0.1:{}", base_port + to as u16);
+        // Peers boot concurrently: retry briefly before giving up.
+        for _ in 0..50 {
+            match TcpStream::connect(&addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    peers[to] = Some(s);
+                    break;
+                }
+                Err(_) => thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+    peers[to].as_mut()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_replica_cluster_decides() {
+        let decisions = ClusterBuilder::new(5)
+            .base_port(47_100)
+            .deadline(Duration::from_secs(30))
+            .run()
+            .expect("cluster decides");
+        assert_eq!(decisions.len(), 5);
+        let first = decisions[0].value.digest();
+        assert!(
+            decisions.iter().all(|d| d.value.digest() == first),
+            "agreement over TCP"
+        );
+        // Replica 0 leads view 1 and proposes its own value.
+        assert_eq!(decisions[0].value, Value::from_tag(0));
+    }
+
+    #[test]
+    fn bind_conflict_reported() {
+        let _hold = TcpListener::bind("127.0.0.1:47321").expect("bind");
+        let err = ClusterBuilder::new(4).base_port(47_321).run().unwrap_err();
+        assert!(matches!(err, ClusterError::Bind(_)), "{err}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # probft-runtime
+//!
+//! A real-clock, real-network deployment substrate for ProBFT: one OS
+//! thread per replica, TCP links with length-prefixed framing, and a
+//! deadline-driven timer loop. The same unmodified [`Replica`] state
+//! machine that runs in the deterministic simulator runs here, driven
+//! through the simulator's embedding API ([`Context::detached`] +
+//! [`Context::drain_actions`]) — the runtime only interprets the resulting
+//! actions against sockets and the wall clock.
+//!
+//! `tokio` is not available in this offline build environment (see
+//! DESIGN.md, "Substitutions"); the thread-per-replica design over
+//! `std::net` provides equivalent message-passing semantics for
+//! laptop-scale clusters, which is all the paper's evaluation needs.
+//!
+//! Virtual-time convention: one simulator tick = one microsecond of wall
+//! time (so the default 50 ms base view timeout carries over sensibly).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use probft_runtime::ClusterBuilder;
+//!
+//! // Run a 5-replica ProBFT cluster over localhost TCP.
+//! let decisions = ClusterBuilder::new(5).base_port(46100).run().unwrap();
+//! assert_eq!(decisions.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod transport;
+
+pub use cluster::{ClusterBuilder, ClusterError};
+pub use transport::{read_frame, write_frame, FrameError};

@@ -1,0 +1,129 @@
+//! Length-prefixed framing over TCP streams.
+//!
+//! Frames are `u32` big-endian length followed by that many payload bytes —
+//! the standard minimal framing for message-oriented protocols over a
+//! stream transport. A sanity cap rejects frames larger than the wire
+//! codec's own limit so a malicious peer cannot force huge allocations.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame size (matches `probft_core::wire::MAX_LEN`).
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Errors produced by frame I/O.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// Peer announced a frame larger than [`MAX_FRAME`].
+    Oversized(u32),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+            FrameError::Oversized(len) => write!(f, "frame of {len} bytes exceeds cap"),
+        }
+    }
+}
+
+impl Error for FrameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            FrameError::Oversized(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates socket errors; rejects oversized payloads.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    let len = u32::try_from(payload.len()).map_err(|_| FrameError::Oversized(u32::MAX))?;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Propagates socket errors; rejects oversized frames.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    match reader.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAA; 1000]).unwrap();
+
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), vec![0xAA; 1000]);
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FrameError::Oversized(99);
+        assert!(!e.to_string().is_empty());
+    }
+}

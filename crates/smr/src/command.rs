@@ -1,0 +1,220 @@
+//! Commands and the replicated key-value state machine.
+//!
+//! The SMR layer is value-agnostic — any byte string can be ordered — but
+//! the canonical application (and the `kv_store` example) is a small
+//! key-value store, with commands encoded through the workspace wire codec
+//! so they travel inside `probft_core::Value` payloads.
+
+use probft_core::value::Value;
+use probft_core::wire::{put, Reader, Wire, WireError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A state-machine command.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Store `value` under `key`.
+    Put {
+        /// The key.
+        key: String,
+        /// The value.
+        value: String,
+    },
+    /// Remove `key`.
+    Delete {
+        /// The key.
+        key: String,
+    },
+    /// Order nothing (used to keep slots progressing when a replica has no
+    /// pending client command).
+    Noop,
+}
+
+impl Command {
+    /// Encodes the command into a consensus [`Value`].
+    pub fn to_value(&self) -> Value {
+        Value::new(self.to_wire_bytes())
+    }
+
+    /// Decodes a command from a decided [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is not a valid command.
+    pub fn from_value(value: &Value) -> Result<Self, WireError> {
+        Command::from_wire_bytes(value.as_bytes())
+    }
+}
+
+impl Wire for Command {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Command::Put { key, value } => {
+                out.push(1);
+                put::var_bytes(out, key.as_bytes());
+                put::var_bytes(out, value.as_bytes());
+            }
+            Command::Delete { key } => {
+                out.push(2);
+                put::var_bytes(out, key.as_bytes());
+            }
+            Command::Noop => out.push(3),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            1 => {
+                let key = String::from_utf8(r.var_bytes()?.to_vec())
+                    .map_err(|_| WireError::BadCrypto("utf-8 key"))?;
+                let value = String::from_utf8(r.var_bytes()?.to_vec())
+                    .map_err(|_| WireError::BadCrypto("utf-8 value"))?;
+                Ok(Command::Put { key, value })
+            }
+            2 => {
+                let key = String::from_utf8(r.var_bytes()?.to_vec())
+                    .map_err(|_| WireError::BadCrypto("utf-8 key"))?;
+                Ok(Command::Delete { key })
+            }
+            3 => Ok(Command::Noop),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Put { key, value } => write!(f, "PUT {key}={value}"),
+            Command::Delete { key } => write!(f, "DEL {key}"),
+            Command::Noop => f.write_str("NOOP"),
+        }
+    }
+}
+
+/// A deterministic key-value state machine fed by decided commands.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvStore {
+    map: BTreeMap<String, String>,
+    applied: u64,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a decided command.
+    pub fn apply(&mut self, cmd: &Command) {
+        match cmd {
+            Command::Put { key, value } => {
+                self.map.insert(key.clone(), value.clone());
+            }
+            Command::Delete { key } => {
+                self.map.remove(key);
+            }
+            Command::Noop => {}
+        }
+        self.applied += 1;
+    }
+
+    /// Reads a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    /// Number of commands applied (including no-ops).
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_value_round_trip() {
+        for cmd in [
+            Command::Put {
+                key: "k".into(),
+                value: "v".into(),
+            },
+            Command::Delete { key: "k".into() },
+            Command::Noop,
+        ] {
+            let value = cmd.to_value();
+            assert_eq!(Command::from_value(&value).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn malformed_value_rejected() {
+        assert!(Command::from_value(&Value::new(b"junk".to_vec())).is_err());
+        assert!(Command::from_value(&Value::new(vec![])).is_err());
+    }
+
+    #[test]
+    fn kv_semantics() {
+        let mut kv = KvStore::new();
+        kv.apply(&Command::Put {
+            key: "a".into(),
+            value: "1".into(),
+        });
+        kv.apply(&Command::Put {
+            key: "a".into(),
+            value: "2".into(),
+        });
+        kv.apply(&Command::Noop);
+        assert_eq!(kv.get("a"), Some("2"));
+        assert_eq!(kv.applied(), 3);
+        kv.apply(&Command::Delete { key: "a".into() });
+        assert_eq!(kv.get("a"), None);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn deterministic_replay_equality() {
+        let cmds = vec![
+            Command::Put {
+                key: "x".into(),
+                value: "1".into(),
+            },
+            Command::Delete { key: "y".into() },
+            Command::Put {
+                key: "y".into(),
+                value: "2".into(),
+            },
+        ];
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        for c in &cmds {
+            a.apply(c);
+            b.apply(c);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Command::Put {
+                key: "k".into(),
+                value: "v".into()
+            }
+            .to_string(),
+            "PUT k=v"
+        );
+        assert_eq!(Command::Noop.to_string(), "NOOP");
+    }
+}

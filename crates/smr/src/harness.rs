@@ -1,0 +1,133 @@
+//! Harness for replicated-state-machine experiments.
+
+use crate::command::Command;
+use crate::node::SmrNode;
+use probft_core::config::{ProbftConfig, SharedConfig};
+use probft_crypto::keyring::Keyring;
+use probft_quorum::ReplicaId;
+use probft_simnet::delay::PartialSynchrony;
+use probft_simnet::metrics::MessageMetrics;
+use probft_simnet::process::ProcessId;
+use probft_simnet::sim::{RunOutcome, Simulation};
+use probft_simnet::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Builds and runs an SMR cluster ordering a shared workload.
+#[derive(Debug)]
+pub struct SmrBuilder {
+    n: usize,
+    seed: u64,
+    workloads: BTreeMap<ReplicaId, Vec<Command>>,
+    target_len: usize,
+    max_events: u64,
+}
+
+impl SmrBuilder {
+    /// Starts building an `n`-replica cluster that stops after
+    /// `target_len` commands are applied everywhere.
+    pub fn new(n: usize, target_len: usize) -> Self {
+        SmrBuilder {
+            n,
+            seed: 0,
+            workloads: BTreeMap::new(),
+            target_len,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Queues `commands` at replica `id` (proposed when it leads a slot).
+    pub fn workload(mut self, id: ReplicaId, commands: Vec<Command>) -> Self {
+        self.workloads.insert(id, commands);
+        self
+    }
+
+    /// Runs the cluster until every replica applied `target_len` commands.
+    pub fn run(self) -> SmrOutcome {
+        let cfg: SharedConfig = Arc::new(
+            ProbftConfig::builder(self.n)
+                .base_timeout(SimDuration::from_ticks(50_000))
+                .build(),
+        );
+        let keyring = Keyring::generate(self.n, &self.seed.to_be_bytes());
+        let public = Arc::new(keyring.public());
+
+        let network = PartialSynchrony::synchronous(
+            SimDuration::from_ticks(1),
+            SimDuration::from_ticks(100),
+        );
+        let mut sim: Simulation<SmrNode> = Simulation::new(network, self.seed);
+        for i in 0..self.n {
+            let id = ReplicaId::from(i);
+            let workload = self.workloads.get(&id).cloned().unwrap_or_default();
+            sim.add_process(SmrNode::new(
+                cfg.clone(),
+                id,
+                keyring.signing_key(i).expect("in range").clone(),
+                public.clone(),
+                workload,
+                self.target_len,
+            ));
+        }
+
+        let n = self.n;
+        let all_done =
+            move |s: &Simulation<SmrNode>| (0..n).all(|i| s.process(ProcessId(i)).done());
+        let run_outcome = sim.run_until_condition(all_done, self.max_events);
+
+        let logs: Vec<Vec<Command>> = (0..self.n)
+            .map(|i| sim.process(ProcessId(i)).log().to_vec())
+            .collect();
+        let states: Vec<crate::command::KvStore> = (0..self.n)
+            .map(|i| sim.process(ProcessId(i)).state().clone())
+            .collect();
+
+        SmrOutcome {
+            logs,
+            states,
+            metrics: sim.metrics().clone(),
+            finished_at: sim.now(),
+            run_outcome,
+        }
+    }
+}
+
+/// Result of an SMR run.
+#[derive(Clone, Debug)]
+pub struct SmrOutcome {
+    /// Per-replica decided command logs.
+    pub logs: Vec<Vec<Command>>,
+    /// Per-replica final application states.
+    pub states: Vec<crate::command::KvStore>,
+    /// Message metrics.
+    pub metrics: MessageMetrics,
+    /// Virtual completion time.
+    pub finished_at: SimTime,
+    /// Loop exit reason.
+    pub run_outcome: RunOutcome,
+}
+
+impl SmrOutcome {
+    /// Whether all replicas hold identical logs (prefix equality over the
+    /// common length is the SMR safety property; full equality holds here
+    /// because the run stops at a fixed target length).
+    pub fn logs_consistent(&self) -> bool {
+        self.logs.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Whether all replicas reached identical application state.
+    pub fn states_consistent(&self) -> bool {
+        self.states.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The agreed log, if consistent.
+    pub fn agreed_log(&self) -> Option<&[Command]> {
+        self.logs_consistent().then(|| self.logs[0].as_slice())
+    }
+}

@@ -1,0 +1,40 @@
+//! # probft-smr
+//!
+//! State-machine replication on top of ProBFT — the extension the paper
+//! names as future work (§7: "leveraging ProBFT for constructing a scalable
+//! state machine replication protocol").
+//!
+//! One ProBFT instance per log slot, opened sequentially; decided values
+//! carry [`Command`]s applied to a deterministic [`KvStore`]. The
+//! composition drives the *unmodified* single-shot replica through the
+//! simulator's embedding API, so consensus-level guarantees carry over:
+//! with probability `1 − exp(−Θ(√n))` per slot, all replicas append the
+//! same command.
+//!
+//! # Examples
+//!
+//! ```
+//! use probft_quorum::ReplicaId;
+//! use probft_smr::{Command, SmrBuilder};
+//!
+//! let outcome = SmrBuilder::new(7, 2)
+//!     .workload(ReplicaId(0), vec![
+//!         Command::Put { key: "x".into(), value: "1".into() },
+//!         Command::Put { key: "y".into(), value: "2".into() },
+//!     ])
+//!     .run();
+//! assert!(outcome.logs_consistent());
+//! assert!(outcome.states_consistent());
+//! assert_eq!(outcome.logs[0].len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod harness;
+pub mod node;
+
+pub use command::{Command, KvStore};
+pub use harness::{SmrBuilder, SmrOutcome};
+pub use node::{SlotMessage, SmrNode};

@@ -1,0 +1,258 @@
+//! State-machine replication by chaining ProBFT instances.
+//!
+//! The paper's future work (§7) proposes "leveraging ProBFT for
+//! constructing a scalable state machine replication protocol". This module
+//! is that construction in its simplest sound form: one ProBFT consensus
+//! instance per log slot, slot `k+1` starting once slot `k` decides.
+//! Each [`SmrNode`] hosts the per-slot [`Replica`] state machines and
+//! multiplexes their traffic over one simulated (or real) network by
+//! wrapping every message in a [`SlotMessage`].
+//!
+//! The composition reuses the unmodified single-shot replica via the
+//! simulator's embedding API ([`Context::detached`] +
+//! [`Context::drain_actions`]): the SMR layer is *pure orchestration*, so
+//! any fix to the consensus core is inherited here.
+
+use crate::command::{Command, KvStore};
+use probft_core::config::SharedConfig;
+use probft_core::message::Message;
+use probft_core::replica::Replica;
+use probft_core::value::Value;
+use probft_core::wire::Wire;
+use probft_crypto::keyring::PublicKeyring;
+use probft_crypto::schnorr::SigningKey;
+use probft_quorum::ReplicaId;
+use probft_simnet::metrics::Measurable;
+use probft_simnet::process::{Action, Context, Process, ProcessId, TimerToken};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// Bits of a timer token reserved for the inner (per-slot) token.
+const SLOT_TOKEN_SHIFT: u32 = 24;
+
+/// A consensus message tagged with its log slot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotMessage {
+    /// The log slot this message belongs to.
+    pub slot: u64,
+    /// The inner single-shot ProBFT message.
+    pub inner: Message,
+}
+
+impl Measurable for SlotMessage {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+    fn wire_size(&self) -> usize {
+        8 + self.inner.to_wire_bytes().len()
+    }
+}
+
+/// A replica of the replicated state machine.
+pub struct SmrNode {
+    cfg: SharedConfig,
+    id: ReplicaId,
+    sk: SigningKey,
+    keys: Arc<PublicKeyring>,
+    /// Client commands this node wants ordered, proposed one per slot when
+    /// this node leads.
+    pending: VecDeque<Command>,
+    /// Stop opening new slots once this many commands are applied.
+    target_len: usize,
+
+    /// Active (and completed) per-slot consensus instances.
+    slots: BTreeMap<u64, Replica>,
+    /// Messages for slots that have not started yet.
+    future: BTreeMap<u64, Vec<Message>>,
+    /// The next slot to open when the current one decides.
+    current_slot: u64,
+    /// Decided commands in slot order.
+    log: Vec<Command>,
+    /// The application state machine.
+    state: KvStore,
+    rng: StdRng,
+}
+
+impl SmrNode {
+    /// Creates an SMR node that wants `workload` ordered and stops opening
+    /// slots after `target_len` total commands are applied.
+    pub fn new(
+        cfg: SharedConfig,
+        id: ReplicaId,
+        sk: SigningKey,
+        keys: Arc<PublicKeyring>,
+        workload: Vec<Command>,
+        target_len: usize,
+    ) -> Self {
+        let seed = 0xD15C_0000 ^ id.0 as u64;
+        SmrNode {
+            cfg,
+            id,
+            sk,
+            keys,
+            pending: workload.into(),
+            target_len,
+            slots: BTreeMap::new(),
+            future: BTreeMap::new(),
+            current_slot: 0,
+            log: Vec::new(),
+            state: KvStore::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The decided command log so far.
+    pub fn log(&self) -> &[Command] {
+        &self.log
+    }
+
+    /// The application state.
+    pub fn state(&self) -> &KvStore {
+        &self.state
+    }
+
+    /// Whether the node has applied its target number of commands.
+    pub fn done(&self) -> bool {
+        self.log.len() >= self.target_len
+    }
+
+    /// The value this node proposes for the next slot: its next pending
+    /// command, or a no-op.
+    fn next_value(&mut self) -> Value {
+        self.pending
+            .pop_front()
+            .unwrap_or(Command::Noop)
+            .to_value()
+    }
+
+    /// Opens slot `slot` and runs its `on_start`.
+    fn open_slot(&mut self, slot: u64, ctx: &mut Context<'_, SlotMessage>) {
+        let value = self.next_value();
+        let mut replica = Replica::new(
+            self.cfg.clone(),
+            self.id,
+            self.sk.clone(),
+            self.keys.clone(),
+            value,
+        );
+        let actions = {
+            let mut inner = Context::detached(ProcessId(self.id.index()), ctx.now(), &mut self.rng);
+            replica.on_start(&mut inner);
+            inner.drain_actions()
+        };
+        self.slots.insert(slot, replica);
+        self.relay(slot, actions, ctx);
+
+        // Replay any buffered traffic for this slot.
+        if let Some(msgs) = self.future.remove(&slot) {
+            for msg in msgs {
+                self.dispatch(slot, None, DispatchEvent::Message(msg), ctx);
+            }
+        }
+    }
+
+    /// Translates a slot replica's actions into outer-world actions.
+    fn relay(&mut self, slot: u64, actions: Vec<Action<Message>>, ctx: &mut Context<'_, SlotMessage>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => ctx.send(to, SlotMessage { slot, inner: msg }),
+                Action::SetTimer { delay, token } => {
+                    debug_assert!(token.0 < (1 << SLOT_TOKEN_SHIFT), "view too large for token packing");
+                    ctx.set_timer(delay, TimerToken((slot << SLOT_TOKEN_SHIFT) | token.0));
+                }
+                Action::Halt => {}
+            }
+        }
+    }
+
+    /// Feeds one event into a slot replica and handles a resulting
+    /// decision.
+    fn dispatch(
+        &mut self,
+        slot: u64,
+        from: Option<ProcessId>,
+        event: DispatchEvent,
+        ctx: &mut Context<'_, SlotMessage>,
+    ) {
+        let Some(replica) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        let already_decided = replica.decision().is_some();
+        let actions = {
+            let mut inner = Context::detached(ProcessId(self.id.index()), ctx.now(), &mut self.rng);
+            match event {
+                DispatchEvent::Message(msg) => {
+                    let from = from.unwrap_or(ProcessId(self.id.index()));
+                    replica.on_message(from, msg, &mut inner);
+                }
+                DispatchEvent::Timer(token) => replica.on_timer(token, &mut inner),
+            }
+            inner.drain_actions()
+        };
+        let newly_decided = !already_decided && replica.decision().is_some();
+        self.relay(slot, actions, ctx);
+
+        if newly_decided && slot == self.current_slot {
+            self.advance(ctx);
+        }
+    }
+
+    /// Applies decided slots in order and opens the next one.
+    fn advance(&mut self, ctx: &mut Context<'_, SlotMessage>) {
+        while let Some(replica) = self.slots.get(&self.current_slot) {
+            let Some(decision) = replica.decision() else {
+                break;
+            };
+            let cmd = Command::from_value(&decision.value).unwrap_or(Command::Noop);
+            self.state.apply(&cmd);
+            self.log.push(cmd);
+            self.current_slot += 1;
+            if self.log.len() >= self.target_len {
+                return; // target reached; stop opening slots
+            }
+            self.open_slot(self.current_slot, ctx);
+        }
+    }
+}
+
+enum DispatchEvent {
+    Message(Message),
+    Timer(TimerToken),
+}
+
+impl Process for SmrNode {
+    type Message = SlotMessage;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SlotMessage>) {
+        self.open_slot(0, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: SlotMessage, ctx: &mut Context<'_, SlotMessage>) {
+        let slot = msg.slot;
+        if self.slots.contains_key(&slot) {
+            self.dispatch(slot, Some(from), DispatchEvent::Message(msg.inner), ctx);
+        } else if slot > self.current_slot {
+            // Not started here yet: buffer until `advance` opens it.
+            self.future.entry(slot).or_default().push(msg.inner);
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, SlotMessage>) {
+        let slot = token.0 >> SLOT_TOKEN_SHIFT;
+        let inner = TimerToken(token.0 & ((1 << SLOT_TOKEN_SHIFT) - 1));
+        self.dispatch(slot, None, DispatchEvent::Timer(inner), ctx);
+    }
+}
+
+impl fmt::Debug for SmrNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SmrNode")
+            .field("id", &self.id)
+            .field("current_slot", &self.current_slot)
+            .field("log_len", &self.log.len())
+            .finish()
+    }
+}

@@ -1,0 +1,72 @@
+//! Byzantine-leader scenarios: equivocation, detection, and recovery.
+//!
+//! ```text
+//! cargo run --example byzantine_leader
+//! ```
+//!
+//! Runs the three leader-attack models of the paper's Figure 4 — the
+//! general equivocation case, the naive split, and the *optimal* split
+//! (correct replicas halved, every Byzantine replica double-voting) — and
+//! shows that correct replicas detect the equivocation, block the view,
+//! and re-decide safely under the next honest leader.
+
+use probft::core::config::View;
+use probft::core::harness::InstanceBuilder;
+use probft::core::ByzantineStrategy;
+use probft::quorum::ReplicaId;
+
+fn main() {
+    let n = 40;
+    let f = 13usize;
+
+    println!("Byzantine leader attacks at n = {n}, f = {f} (replica 0 leads view 1)\n");
+
+    // --- Fig. 4a: general equivocation -----------------------------------
+    let outcome = InstanceBuilder::new(n)
+        .seed(1)
+        .byzantine(
+            ReplicaId(0),
+            ByzantineStrategy::EquivocatingLeader {
+                values: 3,
+                skip_fraction: 0.2,
+            },
+        )
+        .run();
+    report("general case (3 values, 20% starved)", &outcome);
+
+    // --- Fig. 4b: naive split --------------------------------------------
+    let outcome = InstanceBuilder::new(n)
+        .seed(2)
+        .byzantine(ReplicaId(0), ByzantineStrategy::SplitLeader)
+        .run();
+    report("sub-optimal split (all replicas halved)", &outcome);
+
+    // --- Fig. 4c: optimal split with colluding double-voters -------------
+    let mut b = InstanceBuilder::new(n).seed(3);
+    for i in 0..f {
+        b = b.byzantine(ReplicaId::from(i), ByzantineStrategy::OptimalSplitLeader);
+    }
+    let outcome = b.run();
+    report("OPTIMAL split (f colluding double-voters)", &outcome);
+
+    println!("In every run: agreement held, equivocation was detected, and");
+    println!("the decision came from a later, honest view — the paper's");
+    println!("exp(−Θ(√n))⁴ violation bound in action.");
+}
+
+fn report(name: &str, outcome: &probft::core::harness::InstanceOutcome) {
+    assert!(outcome.agreement(), "safety violated under {name}!");
+    let views = outcome.decided_views();
+    println!("▸ {name}");
+    println!(
+        "   agreement: {}   detections: {}   decided views: {:?}   undecided: {}",
+        outcome.agreement(),
+        outcome.equivocation_detections,
+        views,
+        outcome.undecided.len()
+    );
+    if views.iter().all(|v| *v > View(1)) {
+        println!("   (view 1 was abandoned — the attack bought the adversary nothing)");
+    }
+    println!();
+}

@@ -1,0 +1,40 @@
+//! A live ProBFT cluster: real threads, real TCP sockets, real clocks.
+//!
+//! ```text
+//! cargo run --example live_cluster
+//! ```
+//!
+//! Boots seven replica threads listening on 127.0.0.1:46200–46206, lets
+//! them run the full protocol (signatures, VRF samples, view timers) over
+//! loopback TCP, and prints each replica's decision and wall-clock
+//! decision latency.
+
+use probft::runtime::ClusterBuilder;
+use std::time::Duration;
+
+fn main() {
+    let n = 7;
+    let base_port = 46_200;
+    println!("Booting a live {n}-replica ProBFT cluster on 127.0.0.1:{base_port}+\n");
+
+    let decisions = ClusterBuilder::new(n)
+        .base_port(base_port)
+        .seed(5)
+        .deadline(Duration::from_secs(30))
+        .run()
+        .expect("cluster reaches consensus");
+
+    for (i, d) in decisions.iter().enumerate() {
+        println!(
+            "replica {i}: decided {:?} in view {} after {:.1} ms",
+            d.value,
+            d.view,
+            d.at.ticks() as f64 / 1000.0 // ticks are microseconds here
+        );
+    }
+
+    let first = decisions[0].value.digest();
+    assert!(decisions.iter().all(|d| d.value.digest() == first));
+    println!("\nAgreement over real TCP ✓ — same state machine as the simulator,");
+    println!("driven by sockets and wall-clock timers instead of virtual events.");
+}

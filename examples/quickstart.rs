@@ -1,0 +1,48 @@
+//! Quickstart: run one ProBFT consensus instance in the simulator.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a 31-replica instance (all honest), runs it to decision, and
+//! prints who decided what, when, and at what message cost — including the
+//! comparison against what PBFT would have spent.
+
+use probft::core::harness::InstanceBuilder;
+
+fn main() {
+    let n = 31;
+    println!("ProBFT quickstart: n = {n}, all honest, GST = 0\n");
+
+    let builder = InstanceBuilder::new(n).seed(42);
+    let cfg = builder.config();
+    println!(
+        "parameters: f = {}, probabilistic quorum q = {}, sample size s = {}",
+        cfg.faults(),
+        cfg.probabilistic_quorum(),
+        cfg.sample_size()
+    );
+    println!(
+        "(PBFT at this size would need {} matching votes and all-to-all broadcast)\n",
+        cfg.deterministic_quorum()
+    );
+
+    let outcome = builder.run();
+
+    assert!(outcome.all_correct_decided(), "every correct replica decides");
+    assert!(outcome.agreement(), "and they agree");
+
+    let decision = outcome.decisions.values().next().expect("decided");
+    println!(
+        "decided {:?} in view {} at t = {} ticks",
+        decision.value, decision.view, decision.at
+    );
+    println!("\nmessage metrics:\n{}", outcome.metrics);
+
+    let probft_total = outcome.metrics.total_sent();
+    let pbft_estimate = probft::analysis::pbft_messages(n);
+    println!(
+        "\nProBFT used {probft_total} messages; PBFT's closed form is {pbft_estimate:.0} — {:.0}% saved.",
+        (1.0 - probft_total as f64 / pbft_estimate) * 100.0
+    );
+}

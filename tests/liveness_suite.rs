@@ -1,0 +1,87 @@
+//! Liveness sweep: termination under network adversity and fail-stop
+//! faults — the empirical counterpart of Theorems 2–4.
+
+use probft::core::harness::InstanceBuilder;
+use probft::core::ByzantineStrategy;
+use probft::quorum::ReplicaId;
+use probft::simnet::time::{SimDuration, SimTime};
+
+/// Decision despite GST landing after several view timeouts.
+#[test]
+fn decides_with_late_gst() {
+    for seed in 0..3 {
+        let outcome = InstanceBuilder::new(13)
+            .seed(seed)
+            .gst(SimTime::from_ticks(400_000))
+            .pre_gst_max_delay(SimDuration::from_ticks(250_000))
+            .run();
+        assert!(outcome.all_correct_decided(), "seed {seed}: {outcome:?}");
+        assert!(outcome.agreement());
+    }
+}
+
+/// Decision with the maximum tolerated number of crashed replicas.
+#[test]
+fn decides_with_max_crashes() {
+    let n = 13; // f = 4
+    let mut b = InstanceBuilder::new(n).seed(5);
+    for i in 0..4usize {
+        b = b.byzantine(ReplicaId::from(i), ByzantineStrategy::Crash);
+    }
+    let outcome = b.run();
+    assert!(outcome.all_correct_decided(), "{outcome:?}");
+    assert!(outcome.agreement());
+}
+
+/// Termination frequency in view 1 matches the analytic model within
+/// Monte-Carlo noise (the Figure 5 termination column, end to end).
+#[test]
+fn view1_termination_rate_matches_model() {
+    use probft::analysis::termination::{termination_exact, TerminationParams};
+
+    let n = 49;
+    let f = 9;
+    let runs = 12;
+    let mut decided_v1 = 0usize;
+    let mut total = 0usize;
+    for seed in 0..runs {
+        // Silence the *last* f replicas: view 1's leader stays honest.
+        let mut b = InstanceBuilder::new(n).seed(seed);
+        for i in (n - f)..n {
+            b = b.byzantine(ReplicaId::from(i), ByzantineStrategy::Silent);
+        }
+        let outcome = b.run();
+        assert!(outcome.agreement());
+        total += n - f;
+        decided_v1 += outcome
+            .decisions
+            .values()
+            .filter(|d| d.view == probft::core::config::View(1))
+            .count();
+    }
+    let measured = decided_v1 as f64 / total as f64;
+    let cfg_q = 2.0; // l
+    let predicted = termination_exact(TerminationParams::from_paper(n, f, cfg_q, 1.7));
+    assert!(
+        (measured - predicted).abs() < 0.12,
+        "measured view-1 termination {measured} vs model {predicted}"
+    );
+}
+
+/// Simulation determinism across the full stack (same seed, same run).
+#[test]
+fn full_stack_determinism() {
+    let run = |seed| {
+        InstanceBuilder::new(31)
+            .seed(seed)
+            .gst(SimTime::from_ticks(100_000))
+            .pre_gst_max_delay(SimDuration::from_ticks(80_000))
+            .byzantine(ReplicaId(0), ByzantineStrategy::Silent)
+            .run()
+    };
+    let a = run(77);
+    let b = run(77);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.finished_at, b.finished_at);
+    assert_eq!(a.metrics.total_sent(), b.metrics.total_sent());
+}

@@ -1,0 +1,173 @@
+//! Cross-crate property-based tests (proptest): wire codecs, crypto
+//! round-trips, sampling invariants, and quorum-tracker model checks over
+//! randomized inputs.
+
+use probft::core::config::{ProbftConfig, View};
+use probft::core::message::{Message, PhaseMessage, SignedProposal, VerifyCtx, Wish};
+use probft::core::sampling::{derive_sample, Phase};
+use probft::core::value::Value;
+use probft::core::wire::Wire;
+use probft::crypto::keyring::Keyring;
+use probft::crypto::prg::{sample_distinct, Prg};
+use probft::quorum::{QuorumOutcome, QuorumTracker, ReplicaId};
+use probft::smr::Command;
+use proptest::prelude::*;
+
+proptest! {
+    /// Value wire codec round-trips arbitrary payloads.
+    #[test]
+    fn value_codec_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let v = Value::new(bytes);
+        prop_assert_eq!(Value::from_wire_bytes(&v.to_wire_bytes()).unwrap(), v);
+    }
+
+    /// SMR command codec round-trips arbitrary keys/values.
+    #[test]
+    fn command_codec_round_trip(key in ".{0,32}", value in ".{0,32}", which in 0u8..3) {
+        let cmd = match which {
+            0 => Command::Put { key, value },
+            1 => Command::Delete { key },
+            _ => Command::Noop,
+        };
+        let encoded = cmd.to_value();
+        prop_assert_eq!(Command::from_value(&encoded).unwrap(), cmd);
+    }
+
+    /// Signatures verify for the signing key and fail for any other.
+    #[test]
+    fn signatures_bind_to_key_and_message(seed_a in 0u64..1000, seed_b in 0u64..1000, msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+        prop_assume!(seed_a != seed_b);
+        let sk_a = probft::crypto::SigningKey::from_seed(&seed_a.to_be_bytes());
+        let sk_b = probft::crypto::SigningKey::from_seed(&seed_b.to_be_bytes());
+        let sig = sk_a.sign(&msg);
+        prop_assert!(sk_a.verifying_key().verify(&msg, &sig).is_ok());
+        prop_assert!(sk_b.verifying_key().verify(&msg, &sig).is_err());
+        let mut tampered = msg.clone();
+        tampered.push(0);
+        prop_assert!(sk_a.verifying_key().verify(&tampered, &sig).is_err());
+    }
+
+    /// PRG sampling always yields distinct in-range ids, deterministically.
+    #[test]
+    fn sampling_invariants(seed in any::<u64>(), n in 1usize..200, frac in 0.0f64..1.0) {
+        let count = ((n as f64 * frac) as usize).min(n);
+        let a = sample_distinct(&mut Prg::from_seed(&seed.to_be_bytes()), count, n);
+        let b = sample_distinct(&mut Prg::from_seed(&seed.to_be_bytes()), count, n);
+        prop_assert_eq!(&a, &b, "deterministic");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), count, "distinct");
+        prop_assert!(a.iter().all(|&x| (x as usize) < n), "in range");
+    }
+
+    /// Quorum tracker against a simple model: distinct-voter counting.
+    #[test]
+    fn tracker_counts_distinct_voters(votes in proptest::collection::vec((0u32..20, 0u8..3), 1..60), threshold in 1usize..10) {
+        let mut tracker: QuorumTracker<u8, ()> = QuorumTracker::new(threshold);
+        let mut model: std::collections::HashMap<u8, std::collections::BTreeSet<u32>> =
+            std::collections::HashMap::new();
+        for (voter, key) in votes {
+            let outcome = tracker.insert(key, ReplicaId(voter), ());
+            let set = model.entry(key).or_default();
+            let fresh = set.insert(voter);
+            prop_assert_eq!(outcome == QuorumOutcome::Duplicate, !fresh);
+            prop_assert_eq!(tracker.count(&key), set.len());
+            prop_assert_eq!(tracker.is_reached(&key), set.len() >= threshold);
+        }
+    }
+}
+
+proptest! {
+    /// The message decoder is total: arbitrary byte soup either decodes to
+    /// a message or returns an error — it never panics and never loops.
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Message::from_wire_bytes(&bytes);
+        let _ = Value::from_wire_bytes(&bytes);
+        let _ = Command::from_wire_bytes(&bytes);
+    }
+
+    /// Valid encodings corrupted at a random position never decode to the
+    /// original message *and verify* — the signature layer catches every
+    /// accepted-but-corrupted case.
+    #[test]
+    fn corrupted_wish_never_verifies(pos in 0usize..64, xor in 1u8..255) {
+        let cfg = ProbftConfig::builder(8).quorum_multiplier(1.0).build();
+        let ring = Keyring::generate(8, b"prop-corrupt");
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        let w = Wish::sign(ring.signing_key(1).unwrap(), ReplicaId(1), View(3));
+        let msg = Message::Wish(w);
+        let mut bytes = msg.to_wire_bytes();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= xor;
+        match Message::from_wire_bytes(&bytes) {
+            Err(_) => {} // malformed: rejected at the codec layer
+            Ok(decoded) => {
+                // Structurally valid but different: must fail verification
+                // (unless the corruption hit ignorable bytes — there are
+                // none in this format, so inequality implies rejection).
+                if decoded != msg {
+                    prop_assert!(decoded.verify(&ctx).is_err());
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))] // crypto-heavy: keep case count modest
+
+    /// Full protocol messages round-trip the wire and re-verify after
+    /// decoding (the relay path of Algorithm 1 line 25).
+    #[test]
+    fn phase_messages_survive_relay(view in 1u64..5, sender in 0usize..16, tag in 0u64..50) {
+        let n = 16;
+        let cfg = ProbftConfig::builder(n).quorum_multiplier(1.0).overprovision(1.5).build();
+        let ring = Keyring::generate(n, b"prop-msg");
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+
+        let view = View(view);
+        let leader = cfg.leader_of(view);
+        let proposal = SignedProposal::sign(
+            ring.signing_key(leader.index()).unwrap(),
+            leader,
+            view,
+            Value::from_tag(tag),
+        );
+        let sk = ring.signing_key(sender).unwrap();
+        let (sample, proof) = derive_sample(sk, view, Phase::Prepare, cfg.sample_size(), cfg.n());
+        let msg = Message::Prepare(PhaseMessage::sign(
+            sk,
+            Phase::Prepare,
+            ReplicaId::from(sender),
+            proposal,
+            sample,
+            proof,
+        ));
+        let relayed = Message::from_wire_bytes(&msg.to_wire_bytes()).unwrap();
+        prop_assert_eq!(&relayed, &msg);
+        prop_assert!(relayed.verify(&ctx).is_ok());
+
+        // Truncated bytes never decode successfully to the same message.
+        let bytes = msg.to_wire_bytes();
+        let truncated = &bytes[..bytes.len() - 1];
+        prop_assert!(Message::from_wire_bytes(truncated).is_err());
+    }
+
+    /// Wish messages round-trip and bind to their signer.
+    #[test]
+    fn wish_round_trip(view in 1u64..1000, sender in 0usize..8) {
+        let cfg = ProbftConfig::builder(8).quorum_multiplier(1.0).build();
+        let ring = Keyring::generate(8, b"prop-wish");
+        let public = ring.public();
+        let ctx = VerifyCtx::new(&cfg, &public);
+        let w = Wish::sign(ring.signing_key(sender).unwrap(), ReplicaId::from(sender), View(view));
+        let msg = Message::Wish(w);
+        let decoded = Message::from_wire_bytes(&msg.to_wire_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert!(decoded.verify(&ctx).is_ok());
+    }
+}

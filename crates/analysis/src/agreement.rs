@@ -101,20 +101,17 @@ pub fn violation_probability_no_detection(p: AgreementParams) -> f64 {
     let r = p.supporters_per_side() as u64;
     let incl = p.s as f64 / p.n as f64;
     let ln_single = 2.0 * ln_binomial_sf(r, incl, p.q as u64);
-    let per_side = ((p.correct_per_side() as f64).ln() + ln_single).exp().min(1.0);
+    let per_side = ((p.correct_per_side() as f64).ln() + ln_single)
+        .exp()
+        .min(1.0);
     (per_side * per_side).min(1.0)
 }
 
 /// The paper's own Chernoff-based Theorem 7 bound, where its premise
 /// (`r ≤ n/o`) holds.
 pub fn agreement_paper_bound(p: AgreementParams) -> Option<f64> {
-    crate::chernoff::theorem7_violation_upper_bound(
-        p.n,
-        p.f,
-        p.q as f64,
-        p.s as f64 / p.q as f64,
-    )
-    .map(|v| 1.0 - v)
+    crate::chernoff::theorem7_violation_upper_bound(p.n, p.f, p.q as f64, p.s as f64 / p.q as f64)
+        .map(|v| 1.0 - v)
 }
 
 /// Outcome counts of an agreement Monte Carlo run.
@@ -198,7 +195,11 @@ pub fn agreement_monte_carlo(p: AgreementParams, trials: u32, seed: u64) -> Agre
 
 /// Sweep helper: evaluates `f(point)` over an inclusive integer range with
 /// a step, returning `(x, y)` pairs — the shape the figure binaries print.
-pub fn sweep<F: Fn(usize) -> f64>(range: std::ops::RangeInclusive<usize>, step: usize, f: F) -> Vec<(usize, f64)> {
+pub fn sweep<F: Fn(usize) -> f64>(
+    range: std::ops::RangeInclusive<usize>,
+    step: usize,
+    f: F,
+) -> Vec<(usize, f64)> {
     assert!(step > 0, "step must be positive");
     let mut out = Vec::new();
     let mut x = *range.start();

@@ -46,12 +46,7 @@ impl TerminationParams {
 
 /// The paper's Lemma 4 closed-form per-replica bound.
 pub fn termination_bound(p: TerminationParams) -> f64 {
-    crate::chernoff::lemma4_termination_per_replica(
-        p.n,
-        p.f,
-        p.q as f64,
-        p.s as f64 / p.q as f64,
-    )
+    crate::chernoff::lemma4_termination_per_replica(p.n, p.f, p.q as f64, p.s as f64 / p.q as f64)
 }
 
 /// Semi-analytic per-replica termination probability.
@@ -120,8 +115,8 @@ pub fn termination_monte_carlo(p: TerminationParams, trials: u32, seed: u64) -> 
 
         // Commit phase: only prepared correct replicas multicast.
         let mut commit_count = vec![0u32; p.n];
-        for sender in 0..correct {
-            if prepared[sender] {
+        for &sender_prepared in prepared.iter().take(correct) {
+            if sender_prepared {
                 population.shuffle(&mut rng);
                 for &target in &population[..p.s] {
                     commit_count[target] += 1;

@@ -21,9 +21,7 @@ fn bench_models(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("agreement_exact", n), &n, |b, _| {
             b.iter(|| {
-                probft_analysis::agreement_probability(AgreementParams::from_paper(
-                    n, f, 2.0, 1.7,
-                ))
+                probft_analysis::agreement_probability(AgreementParams::from_paper(n, f, 2.0, 1.7))
             })
         });
     }

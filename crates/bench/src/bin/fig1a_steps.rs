@@ -23,7 +23,11 @@ fn main() {
     let rows = [
         ("PBFT", 3, "1-to-all, all-to-all, all-to-all"),
         ("ProBFT", 3, "1-to-all, all-to-sample, all-to-sample"),
-        ("HotStuff", 7, "star (leader aggregation), 4 broadcasts + 3 vote rounds"),
+        (
+            "HotStuff",
+            7,
+            "star (leader aggregation), 4 broadcasts + 3 vote rounds",
+        ),
     ];
 
     // Measured: kinds on the decision path (excluding synchronizer noise).

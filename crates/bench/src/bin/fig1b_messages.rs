@@ -67,7 +67,9 @@ fn main() {
                 fmt_count(pbft.metrics.total_sent_excluding_self() as f64),
                 fmt_count(hs.metrics.total_sent_excluding_self() as f64),
                 fmt_count(probft.metrics.total_sent_excluding_self() as f64),
-                fmt_count(probft_analysis::messages::probft_messages_discrete(n, 2.0, 1.7)),
+                fmt_count(probft_analysis::messages::probft_messages_discrete(
+                    n, 2.0, 1.7,
+                )),
             ],
         );
     }

@@ -72,9 +72,8 @@ fn row(n: usize, f: usize, simulate: bool) {
     let exact: Vec<String> = [1.6, 1.7, 1.8]
         .iter()
         .map(|&o| {
-            let v = probft_analysis::violation_probability(AgreementParams::from_paper(
-                n, f, 2.0, o,
-            ));
+            let v =
+                probft_analysis::violation_probability(AgreementParams::from_paper(n, f, 2.0, o));
             if v == 0.0 {
                 "1".to_string()
             } else {

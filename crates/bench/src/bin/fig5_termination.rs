@@ -73,7 +73,11 @@ fn header(simulate: bool) {
 fn row(n: usize, f: usize, simulate: bool) {
     let mut cols: Vec<String> = [1.6, 1.7, 1.8]
         .iter()
-        .map(|&o| fmt_prob(termination_exact(TerminationParams::from_paper(n, f, 2.0, o))))
+        .map(|&o| {
+            fmt_prob(termination_exact(TerminationParams::from_paper(
+                n, f, 2.0, o,
+            )))
+        })
         .collect();
     cols.push(fmt_prob(termination_bound(TerminationParams::from_paper(
         n, f, 2.0, 1.7,

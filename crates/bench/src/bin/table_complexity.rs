@@ -37,7 +37,12 @@ fn main() {
         // figure's good-case definition).
         let good = clean_view1_run(n);
         assert!(good.all_correct_decided());
-        emit("ProBFT good", n, good.metrics.total_sent(), good.metrics.total_bytes());
+        emit(
+            "ProBFT good",
+            n,
+            good.metrics.total_sent(),
+            good.metrics.total_bytes(),
+        );
 
         // ProBFT with a silent leader: one view change.
         let vc = InstanceBuilder::new(n)
@@ -45,12 +50,22 @@ fn main() {
             .byzantine(ReplicaId(0), ByzantineStrategy::Silent)
             .run();
         assert!(vc.all_correct_decided());
-        emit("ProBFT viewchg", n, vc.metrics.total_sent(), vc.metrics.total_bytes());
+        emit(
+            "ProBFT viewchg",
+            n,
+            vc.metrics.total_sent(),
+            vc.metrics.total_bytes(),
+        );
 
         // PBFT good case for reference.
         let pbft = PbftInstanceBuilder::new(n).seed(3).run();
         assert!(pbft.all_correct_decided());
-        emit("PBFT good", n, pbft.metrics.total_sent(), pbft.metrics.total_bytes());
+        emit(
+            "PBFT good",
+            n,
+            pbft.metrics.total_sent(),
+            pbft.metrics.total_bytes(),
+        );
 
         let pbft_vc = PbftInstanceBuilder::new(n)
             .seed(3)

@@ -10,10 +10,7 @@ use probft_bench::print_row;
 
 fn main() {
     println!("§5 claim — ProBFT messages as a fraction of PBFT's (q = 2√n)\n");
-    print_row(
-        "n",
-        &["o=1.6".into(), "o=1.7".into(), "o=1.8".into()],
-    );
+    print_row("n", &["o=1.6".into(), "o=1.7".into(), "o=1.8".into()]);
     let mut in_claim_range = true;
     for n in (100..=400).step_by(50) {
         let ratios: Vec<f64> = [1.6, 1.7, 1.8]
@@ -22,7 +19,10 @@ fn main() {
             .collect();
         print_row(
             &n.to_string(),
-            &ratios.iter().map(|r| format!("{:.1}%", r * 100.0)).collect::<Vec<_>>(),
+            &ratios
+                .iter()
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .collect::<Vec<_>>(),
         );
         if n >= 200 && !(0.17..=0.25).contains(&ratios[1]) {
             in_claim_range = false;

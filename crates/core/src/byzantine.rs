@@ -78,7 +78,10 @@ pub enum ByzantineStrategy {
 /// Deterministic so that colluding replicas agree on them without
 /// communication.
 pub fn equivocation_values() -> (Value, Value) {
-    (Value::new(b"equivocation-A".to_vec()), Value::new(b"equivocation-B".to_vec()))
+    (
+        Value::new(b"equivocation-A".to_vec()),
+        Value::new(b"equivocation-B".to_vec()),
+    )
 }
 
 /// A Byzantine replica executing one [`ByzantineStrategy`].
@@ -226,7 +229,10 @@ impl Process for ByzantineReplica {
         match self.strategy.clone() {
             ByzantineStrategy::Crash => ctx.halt(),
             ByzantineStrategy::Silent => {}
-            ByzantineStrategy::EquivocatingLeader { values, skip_fraction } => {
+            ByzantineStrategy::EquivocatingLeader {
+                values,
+                skip_fraction,
+            } => {
                 if !self.is_leader_of_view_one() {
                     return;
                 }

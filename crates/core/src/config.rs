@@ -247,7 +247,7 @@ impl ProbftConfigBuilder {
     /// `o < 1`, or a quorum size exceeding `n`).
     pub fn build(self) -> ProbftConfig {
         assert!(
-            self.n >= 3 * self.f + 1,
+            self.n > 3 * self.f,
             "need n ≥ 3f+1 (n={}, f={})",
             self.n,
             self.f

@@ -60,7 +60,10 @@ impl fmt::Display for RejectReason {
             RejectReason::BadVrfProof => f.write_str("VRF sample proof invalid"),
             RejectReason::NotInSample => f.write_str("receiver not in sender's sample"),
             RejectReason::StaleView { got, current } => {
-                write!(f, "message view {got} incompatible with current view {current}")
+                write!(
+                    f,
+                    "message view {got} incompatible with current view {current}"
+                )
             }
             RejectReason::UnsafeProposal => f.write_str("safeProposal predicate failed"),
             RejectReason::InvalidNewLeader => f.write_str("validNewLeader predicate failed"),

@@ -214,7 +214,13 @@ impl PhaseMessage {
         self.proposal.verify(ctx)?;
         let pk = ctx.key_of(self.sender)?;
         pk.verify(
-            &Self::signing_bytes(phase, self.sender, &self.proposal, &self.sample, &self.proof),
+            &Self::signing_bytes(
+                phase,
+                self.sender,
+                &self.proposal,
+                &self.sample,
+                &self.proof,
+            ),
             &self.signature,
         )
         .map_err(|_| RejectReason::BadSignature)?;
@@ -555,8 +561,11 @@ impl Wish {
     /// [`RejectReason::BadSignature`] or [`RejectReason::UnknownSender`].
     pub fn verify(&self, ctx: &VerifyCtx<'_>) -> Result<(), RejectReason> {
         let pk = ctx.key_of(self.sender)?;
-        pk.verify(&Self::signing_bytes(self.sender, self.view), &self.signature)
-            .map_err(|_| RejectReason::BadSignature)
+        pk.verify(
+            &Self::signing_bytes(self.sender, self.view),
+            &self.signature,
+        )
+        .map_err(|_| RejectReason::BadSignature)
     }
 }
 
@@ -767,13 +776,8 @@ mod tests {
         let p = proposal(&cfg, &ring, View(1), 1);
         let sender = ReplicaId(3);
         let sk = ring.signing_key(3).unwrap();
-        let (sample, proof) = crate::sampling::derive_sample(
-            sk,
-            View(1),
-            Phase::Prepare,
-            cfg.sample_size(),
-            cfg.n(),
-        );
+        let (sample, proof) =
+            crate::sampling::derive_sample(sk, View(1), Phase::Prepare, cfg.sample_size(), cfg.n());
         let msg = PhaseMessage::sign(sk, Phase::Prepare, sender, p, sample, proof);
         let public = ring.public();
         let ctx = VerifyCtx::new(&cfg, &public);
@@ -794,13 +798,8 @@ mod tests {
         let (cfg, ring) = setup(16);
         let p = proposal(&cfg, &ring, View(1), 1);
         let sk = ring.signing_key(3).unwrap();
-        let (mut sample, proof) = crate::sampling::derive_sample(
-            sk,
-            View(1),
-            Phase::Prepare,
-            cfg.sample_size(),
-            cfg.n(),
-        );
+        let (mut sample, proof) =
+            crate::sampling::derive_sample(sk, View(1), Phase::Prepare, cfg.sample_size(), cfg.n());
         // Byzantine trick: claim a different recipient set, re-sign honestly.
         let outsider = (0..16u32)
             .map(ReplicaId)
@@ -870,7 +869,10 @@ mod tests {
         let ctx = VerifyCtx::new(&cfg, &public);
         assert!(w.verify(&ctx).is_ok());
         let wire = Message::Wish(w);
-        assert_eq!(Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap(), wire);
+        assert_eq!(
+            Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap(),
+            wire
+        );
     }
 
     #[test]
@@ -887,7 +889,14 @@ mod tests {
                     cfg.sample_size(),
                     cfg.n(),
                 );
-                PhaseMessage::sign(sk, Phase::Prepare, ReplicaId::from(i), p.clone(), sample, proof)
+                PhaseMessage::sign(
+                    sk,
+                    Phase::Prepare,
+                    ReplicaId::from(i),
+                    p.clone(),
+                    sample,
+                    proof,
+                )
             })
             .collect();
         let nl = NewLeader::sign(
@@ -902,7 +911,10 @@ mod tests {
         let ctx = VerifyCtx::new(&cfg, &public);
         assert!(nl.verify(&ctx).is_ok());
         let wire = Message::NewLeader(nl);
-        assert_eq!(Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap(), wire);
+        assert_eq!(
+            Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap(),
+            wire
+        );
     }
 
     #[test]
@@ -917,7 +929,11 @@ mod tests {
         assert_eq!(msg.kind(), "Propose");
         assert!(msg.wire_size() > 0);
 
-        let w = Message::Wish(Wish::sign(ring.signing_key(1).unwrap(), ReplicaId(1), View(2)));
+        let w = Message::Wish(Wish::sign(
+            ring.signing_key(1).unwrap(),
+            ReplicaId(1),
+            View(2),
+        ));
         assert_eq!(w.embedded_proposal(), None);
         assert_eq!(w.kind(), "Wish");
     }
@@ -937,13 +953,8 @@ mod tests {
         let (cfg, ring) = setup(16);
         let p = proposal(&cfg, &ring, View(1), 1);
         let sk = ring.signing_key(3).unwrap();
-        let (sample, proof) = crate::sampling::derive_sample(
-            sk,
-            View(1),
-            Phase::Prepare,
-            cfg.sample_size(),
-            cfg.n(),
-        );
+        let (sample, proof) =
+            crate::sampling::derive_sample(sk, View(1), Phase::Prepare, cfg.sample_size(), cfg.n());
         let msg = Message::Prepare(PhaseMessage::sign(
             sk,
             Phase::Prepare,

@@ -100,10 +100,13 @@ pub fn choose_proposal(justification: &[NewLeader]) -> Option<Value> {
     // digest wins) by scanning in order and requiring a strict improvement.
     counts
         .values()
-        .fold(None::<(usize, &Value)>, |best, &(count, value)| match best {
-            Some((best_count, _)) if best_count >= count => best,
-            _ => Some((count, value)),
-        })
+        .fold(
+            None::<(usize, &Value)>,
+            |best, &(count, value)| match best {
+                Some((best_count, _)) if best_count >= count => best,
+                _ => Some((count, value)),
+            },
+        )
         .map(|(_, v)| v.clone())
 }
 
@@ -170,12 +173,7 @@ mod tests {
         (cfg, ring)
     }
 
-    fn leader_proposal(
-        cfg: &ProbftConfig,
-        ring: &Keyring,
-        view: View,
-        tag: u64,
-    ) -> SignedProposal {
+    fn leader_proposal(cfg: &ProbftConfig, ring: &Keyring, view: View, tag: u64) -> SignedProposal {
         let leader = cfg.leader_of(view);
         SignedProposal::sign(
             ring.signing_key(leader.index()).unwrap(),
@@ -233,7 +231,14 @@ mod tests {
     fn prepared_rejects_undersized_certificate() {
         let (cfg, ring) = setup();
         let holder = ReplicaId(2);
-        let cert = cert_for(&cfg, &ring, View(1), 7, holder, cfg.probabilistic_quorum() - 1);
+        let cert = cert_for(
+            &cfg,
+            &ring,
+            View(1),
+            7,
+            holder,
+            cfg.probabilistic_quorum() - 1,
+        );
         let public = ring.public();
         let ctx = VerifyCtx::new(&cfg, &public);
         assert!(!prepared(&cert, View(1), &Value::from_tag(7), holder, &ctx));
@@ -243,7 +248,14 @@ mod tests {
     fn prepared_ignores_duplicate_senders() {
         let (cfg, ring) = setup();
         let holder = ReplicaId(2);
-        let mut cert = cert_for(&cfg, &ring, View(1), 7, holder, cfg.probabilistic_quorum() - 1);
+        let mut cert = cert_for(
+            &cfg,
+            &ring,
+            View(1),
+            7,
+            holder,
+            cfg.probabilistic_quorum() - 1,
+        );
         // Pad with copies of the first message: distinct-sender count stays
         // below q.
         let dup = cert[0].clone();
@@ -279,7 +291,13 @@ mod tests {
         let ctx = VerifyCtx::new(&cfg, &public);
         assert!(!prepared(&cert, View(1), &Value::from_tag(8), holder, &ctx));
         assert!(!prepared(&cert, View(2), &Value::from_tag(7), holder, &ctx));
-        assert!(!prepared(&cert, View::NONE, &Value::from_tag(7), holder, &ctx));
+        assert!(!prepared(
+            &cert,
+            View::NONE,
+            &Value::from_tag(7),
+            holder,
+            &ctx
+        ));
     }
 
     fn new_leader_none(ring: &Keyring, sender: usize, view: View) -> NewLeader {

@@ -276,8 +276,8 @@ impl Replica {
         let justification: Vec<NewLeader> = self.new_leader_msgs.values().cloned().collect();
         // Lines 7–12: propose the mode of the latest prepared view, or our
         // own value if nothing was prepared.
-        let value = predicates::choose_proposal(&justification)
-            .unwrap_or_else(|| self.my_value.clone());
+        let value =
+            predicates::choose_proposal(&justification).unwrap_or_else(|| self.my_value.clone());
         self.broadcast_propose(value, justification, ctx);
     }
 
@@ -543,7 +543,10 @@ impl Process for Replica {
         // View timer expired: wish to advance, and re-arm so a stuck view
         // keeps re-broadcasting its wish.
         let action = self.sync.on_timeout();
-        ctx.set_timer(self.cfg.timeout_for(self.cur_view), TimerToken(self.cur_view.0));
+        ctx.set_timer(
+            self.cfg.timeout_for(self.cur_view),
+            TimerToken(self.cur_view.0),
+        );
         self.apply_sync_action(action, ctx);
     }
 }

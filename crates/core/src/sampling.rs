@@ -49,7 +49,7 @@ pub fn derive_sample(
     n: usize,
 ) -> (Vec<ReplicaId>, VrfProof) {
     let (ids, proof) = vrf_prove(sk, &vrf_seed(view, phase), sample_size, n);
-    (ids.into_iter().map(|i| ReplicaId(i)).collect(), proof)
+    (ids.into_iter().map(ReplicaId).collect(), proof)
 }
 
 /// `VRF_verify(K_u, v ‖ T, s, S, P)`: checks that `sample` is the unique
@@ -74,8 +74,14 @@ mod tests {
 
     #[test]
     fn seeds_differ_by_view_and_phase() {
-        assert_ne!(vrf_seed(View(1), Phase::Prepare), vrf_seed(View(1), Phase::Commit));
-        assert_ne!(vrf_seed(View(1), Phase::Prepare), vrf_seed(View(2), Phase::Prepare));
+        assert_ne!(
+            vrf_seed(View(1), Phase::Prepare),
+            vrf_seed(View(1), Phase::Commit)
+        );
+        assert_ne!(
+            vrf_seed(View(1), Phase::Prepare),
+            vrf_seed(View(2), Phase::Prepare)
+        );
     }
 
     #[test]

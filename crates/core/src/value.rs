@@ -119,7 +119,11 @@ mod tests {
 
     #[test]
     fn wire_round_trip() {
-        for v in [Value::default(), Value::from_tag(7), Value::new(vec![0u8; 1000])] {
+        for v in [
+            Value::default(),
+            Value::from_tag(7),
+            Value::new(vec![0u8; 1000]),
+        ] {
             assert_eq!(Value::from_wire_bytes(&v.to_wire_bytes()).unwrap(), v);
         }
     }

@@ -69,13 +69,18 @@ fn optimal_split_leader_sends_exactly_two_values() {
 
     // Each side = its half of the correct replicas plus ALL of Π_F.
     let faulty: BTreeSet<usize> = (0..F).collect();
-    assert!(faulty.iter().all(|i| to1.contains(i) && to2.contains(i)),
-        "every Byzantine replica receives both values");
+    assert!(
+        faulty.iter().all(|i| to1.contains(i) && to2.contains(i)),
+        "every Byzantine replica receives both values"
+    );
     // Correct replicas get exactly one value each.
     let correct_both: Vec<usize> = (F..N)
         .filter(|i| to1.contains(i) && to2.contains(i))
         .collect();
-    assert!(correct_both.is_empty(), "correct replicas must never see both: {correct_both:?}");
+    assert!(
+        correct_both.is_empty(),
+        "correct replicas must never see both: {correct_both:?}"
+    );
     // The two correct halves are (n−f)/2 = 7 each.
     assert_eq!(to1.len() - F, (N - F) / 2);
     assert_eq!(to2.len() - F, (N - F) / 2);
@@ -88,19 +93,18 @@ fn optimal_split_helpers_vote_within_their_vrf_samples_only() {
     let actions = start_actions(&mut leader, &mut rng);
 
     for a in &actions {
-        if let Action::Send { to, msg } = a {
-            match msg {
-                Message::Prepare(p) | Message::Commit(p) => {
-                    // Every phase vote's recipient must be inside the
-                    // (genuine, verifiable) VRF sample — omission is the
-                    // only freedom the adversary has.
-                    assert!(
-                        p.includes(ReplicaId::from(to.index())),
-                        "helper voted outside its VRF sample"
-                    );
-                }
-                _ => {}
-            }
+        if let Action::Send {
+            to,
+            msg: Message::Prepare(p) | Message::Commit(p),
+        } = a
+        {
+            // Every phase vote's recipient must be inside the
+            // (genuine, verifiable) VRF sample — omission is the
+            // only freedom the adversary has.
+            assert!(
+                p.includes(ReplicaId::from(to.index())),
+                "helper voted outside its VRF sample"
+            );
         }
     }
 }
@@ -112,7 +116,10 @@ fn split_leader_partitions_all_replicas() {
     let proposals = proposals_by_value(&actions);
     assert_eq!(proposals.len(), 2);
     let sides: Vec<&BTreeSet<usize>> = proposals.values().collect();
-    assert!(sides[0].is_disjoint(sides[1]), "Fig. 4b halves are disjoint");
+    assert!(
+        sides[0].is_disjoint(sides[1]),
+        "Fig. 4b halves are disjoint"
+    );
     assert_eq!(sides[0].len() + sides[1].len(), N);
 }
 
@@ -129,7 +136,10 @@ fn equivocating_leader_starves_some_replicas() {
     let proposals = proposals_by_value(&actions);
     assert!(proposals.len() >= 2, "multiple values sent");
     let reached: BTreeSet<usize> = proposals.values().flatten().copied().collect();
-    assert!(reached.len() < N, "with skip_fraction some replicas get nothing");
+    assert!(
+        reached.len() < N,
+        "with skip_fraction some replicas get nothing"
+    );
 }
 
 #[test]
@@ -173,7 +183,10 @@ fn view_one_leader_proposals_carry_valid_leader_signature() {
     let mut checked = 0;
     for a in &actions {
         if let Action::Send { msg, .. } = a {
-            assert!(msg.verify(&ctx).is_ok(), "Byzantine output failed verification");
+            assert!(
+                msg.verify(&ctx).is_ok(),
+                "Byzantine output failed verification"
+            );
             checked += 1;
         }
     }

@@ -20,7 +20,11 @@ fn normal_case_decides_in_view_one() {
         // replica misses a quorum in view 1 and decides after a view
         // change — but the *first* decisions always land in view 1 here,
         // and the leader's value carries over via safeProposal.
-        assert_eq!(outcome.decided_views().first(), Some(&View(1)), "seed {seed}");
+        assert_eq!(
+            outcome.decided_views().first(),
+            Some(&View(1)),
+            "seed {seed}"
+        );
         assert_eq!(
             outcome.decided_value().map(Value::digest),
             Some(Value::from_tag(0).digest()),
@@ -118,10 +122,7 @@ fn optimal_split_attack_preserves_safety() {
 fn equivocating_leader_is_detected_by_correct_replicas() {
     let outcome = InstanceBuilder::new(20)
         .seed(6)
-        .byzantine(
-            ReplicaId(0),
-            ByzantineStrategy::SplitLeader,
-        )
+        .byzantine(ReplicaId(0), ByzantineStrategy::SplitLeader)
         .run();
     // The split sends val1 to half the replicas and val2 to the other half;
     // prepare samples cross the halves, so detections are essentially

@@ -260,13 +260,13 @@ mod tests {
             if n == p {
                 return true;
             }
-            if n % p == 0 {
+            if n.is_multiple_of(p) {
                 return false;
             }
         }
         let mut d = n - 1;
         let mut r = 0;
-        while d % 2 == 0 {
+        while d.is_multiple_of(2) {
             d /= 2;
             r += 1;
         }
@@ -392,6 +392,9 @@ mod tests {
     #[test]
     fn scalar_from_bytes_rejects_noncanonical() {
         assert_eq!(Scalar::from_bytes(Q.to_be_bytes()), None);
-        assert_eq!(Scalar::from_bytes((Q - 1).to_be_bytes()), Some(Scalar(Q - 1)));
+        assert_eq!(
+            Scalar::from_bytes((Q - 1).to_be_bytes()),
+            Some(Scalar(Q - 1))
+        );
     }
 }

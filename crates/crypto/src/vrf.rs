@@ -188,7 +188,14 @@ mod tests {
     fn prove_verify_round_trip() {
         let sk = key(0);
         let (sample, proof) = vrf_prove(&sk, b"1|prepare", 20, 100);
-        assert!(vrf_verify(&sk.verifying_key(), b"1|prepare", 20, 100, &sample, &proof));
+        assert!(vrf_verify(
+            &sk.verifying_key(),
+            b"1|prepare",
+            20,
+            100,
+            &sample,
+            &proof
+        ));
     }
 
     #[test]
@@ -230,13 +237,27 @@ mod tests {
     fn verify_rejects_wrong_seed() {
         let sk = key(6);
         let (sample, proof) = vrf_prove(&sk, b"right", 10, 50);
-        assert!(!vrf_verify(&sk.verifying_key(), b"wrong", 10, 50, &sample, &proof));
+        assert!(!vrf_verify(
+            &sk.verifying_key(),
+            b"wrong",
+            10,
+            50,
+            &sample,
+            &proof
+        ));
     }
 
     #[test]
     fn verify_rejects_wrong_key() {
         let (sample, proof) = vrf_prove(&key(7), b"z", 10, 50);
-        assert!(!vrf_verify(&key(8).verifying_key(), b"z", 10, 50, &sample, &proof));
+        assert!(!vrf_verify(
+            &key(8).verifying_key(),
+            b"z",
+            10,
+            50,
+            &sample,
+            &proof
+        ));
     }
 
     #[test]
@@ -250,7 +271,14 @@ mod tests {
             .find(|id| !sample.contains(id))
             .expect("population larger than sample");
         sample[0] = outsider;
-        assert!(!vrf_verify(&sk.verifying_key(), b"z", 10, 50, &sample, &proof));
+        assert!(!vrf_verify(
+            &sk.verifying_key(),
+            b"z",
+            10,
+            50,
+            &sample,
+            &proof
+        ));
     }
 
     #[test]
@@ -268,9 +296,30 @@ mod tests {
     fn verify_rejects_wrong_size_params() {
         let sk = key(11);
         let (sample, proof) = vrf_prove(&sk, b"z", 10, 50);
-        assert!(!vrf_verify(&sk.verifying_key(), b"z", 9, 50, &sample, &proof));
-        assert!(!vrf_verify(&sk.verifying_key(), b"z", 10, 49, &sample, &proof));
-        assert!(!vrf_verify(&sk.verifying_key(), b"z", 60, 50, &sample, &proof));
+        assert!(!vrf_verify(
+            &sk.verifying_key(),
+            b"z",
+            9,
+            50,
+            &sample,
+            &proof
+        ));
+        assert!(!vrf_verify(
+            &sk.verifying_key(),
+            b"z",
+            10,
+            49,
+            &sample,
+            &proof
+        ));
+        assert!(!vrf_verify(
+            &sk.verifying_key(),
+            b"z",
+            60,
+            50,
+            &sample,
+            &proof
+        ));
     }
 
     #[test]
@@ -281,12 +330,26 @@ mod tests {
             c: proof.c + Scalar::ONE,
             ..proof
         };
-        assert!(!vrf_verify(&sk.verifying_key(), b"z", 10, 50, &sample, &bad));
+        assert!(!vrf_verify(
+            &sk.verifying_key(),
+            b"z",
+            10,
+            50,
+            &sample,
+            &bad
+        ));
         let bad = VrfProof {
             s: proof.s + Scalar::ONE,
             ..proof
         };
-        assert!(!vrf_verify(&sk.verifying_key(), b"z", 10, 50, &sample, &bad));
+        assert!(!vrf_verify(
+            &sk.verifying_key(),
+            b"z",
+            10,
+            50,
+            &sample,
+            &bad
+        ));
     }
 
     #[test]

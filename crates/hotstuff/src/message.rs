@@ -539,7 +539,10 @@ mod tests {
         );
         assert!(v.verify(&ctx).is_ok());
         let wire = HsMessage::Vote(v);
-        assert_eq!(HsMessage::from_wire_bytes(&wire.to_wire_bytes()).unwrap(), wire);
+        assert_eq!(
+            HsMessage::from_wire_bytes(&wire.to_wire_bytes()).unwrap(),
+            wire
+        );
     }
 
     #[test]
@@ -611,8 +614,12 @@ mod tests {
         let (cfg, ring) = setup();
         let public = ring.public();
         let ctx = VerifyCtx::new(&cfg, &public);
-        let msg = HsMessage::sign_new_view(ring.signing_key(2).unwrap(), ReplicaId(2), View(4), None);
+        let msg =
+            HsMessage::sign_new_view(ring.signing_key(2).unwrap(), ReplicaId(2), View(4), None);
         assert!(msg.verify(&ctx).is_ok());
-        assert_eq!(HsMessage::from_wire_bytes(&msg.to_wire_bytes()).unwrap(), msg);
+        assert_eq!(
+            HsMessage::from_wire_bytes(&msg.to_wire_bytes()).unwrap(),
+            msg
+        );
     }
 }

@@ -148,8 +148,7 @@ impl HsReplica {
                 self.broadcast(msg, ctx);
             }
         } else {
-            let msg =
-                HsMessage::sign_new_view(&self.sk, self.id, view, self.prepare_qc.clone());
+            let msg = HsMessage::sign_new_view(&self.sk, self.id, view, self.prepare_qc.clone());
             ctx.send(self.leader_pid(), msg);
         }
 
@@ -306,9 +305,7 @@ impl HsReplica {
         }
         // Assemble the QC; we need the full value, which the leader knows
         // from its own proposal (it proposed it).
-        let value = self
-            .proposed_value()
-            .filter(|v| v.digest() == digest);
+        let value = self.proposed_value().filter(|v| v.digest() == digest);
         let Some(value) = value else {
             return;
         };
@@ -406,7 +403,10 @@ impl Process for HsReplica {
             return;
         }
         let action = self.sync.on_timeout();
-        ctx.set_timer(self.cfg.timeout_for(self.cur_view), TimerToken(self.cur_view.0));
+        ctx.set_timer(
+            self.cfg.timeout_for(self.cur_view),
+            TimerToken(self.cur_view.0),
+        );
         self.apply_sync_action(action, ctx);
     }
 }

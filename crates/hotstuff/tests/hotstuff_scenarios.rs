@@ -21,10 +21,7 @@ fn message_complexity_is_linear() {
     assert!(outcome.all_correct_decided());
     let total = outcome.metrics.total_sent();
     // 4 leader broadcasts (n each) + 3 vote rounds (n each) ≈ 7n = 350.
-    assert!(
-        total < 10 * 50,
-        "expected O(n) ≈ 350 messages, got {total}"
-    );
+    assert!(total < 10 * 50, "expected O(n) ≈ 350 messages, got {total}");
     assert_eq!(outcome.metrics.kind("Propose").sent, 50);
     assert_eq!(outcome.metrics.kind("Decide").sent, 50);
 }

@@ -51,7 +51,12 @@ impl Process for PbftNode {
             PbftNode::Byzantine(b) => b.on_start(ctx),
         }
     }
-    fn on_message(&mut self, from: ProcessId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
         match self {
             PbftNode::Honest(r) => r.on_message(from, msg, ctx),
             PbftNode::Byzantine(b) => b.on_message(from, msg, ctx),
@@ -156,8 +161,9 @@ impl PbftInstanceBuilder {
             .filter(|i| !self.byzantine.contains_key(&ReplicaId::from(*i)))
             .map(ProcessId)
             .collect();
-        let all_decided =
-            move |s: &Simulation<PbftNode>| honest.iter().all(|p| s.process(*p).decision().is_some());
+        let all_decided = move |s: &Simulation<PbftNode>| {
+            honest.iter().all(|p| s.process(*p).decision().is_some())
+        };
         let run_outcome = sim.run_until_condition(all_decided, self.max_events);
 
         let mut decisions = BTreeMap::new();

@@ -522,12 +522,21 @@ mod tests {
         let public = ring.public();
         let ctx = VerifyCtx::new(&cfg, &public);
         let d = Value::from_tag(1).digest();
-        let v = Vote::sign(ring.signing_key(2).unwrap(), VotePhase::Prepare, ReplicaId(2), View(1), d);
+        let v = Vote::sign(
+            ring.signing_key(2).unwrap(),
+            VotePhase::Prepare,
+            ReplicaId(2),
+            View(1),
+            d,
+        );
         assert!(v.verify(VotePhase::Prepare, &ctx).is_ok());
         // Phase domain separation: a prepare vote is not a commit vote.
         assert!(v.verify(VotePhase::Commit, &ctx).is_err());
         let wire = PbftMessage::Prepare(v);
-        assert_eq!(PbftMessage::from_wire_bytes(&wire.to_wire_bytes()).unwrap(), wire);
+        assert_eq!(
+            PbftMessage::from_wire_bytes(&wire.to_wire_bytes()).unwrap(),
+            wire
+        );
     }
 
     #[test]
@@ -580,7 +589,11 @@ mod tests {
                 ReplicaId::from(sender),
                 View(9),
                 View(pview),
-                if pview == 0 { None } else { Some(Value::from_tag(tag)) },
+                if pview == 0 {
+                    None
+                } else {
+                    Some(Value::from_tag(tag))
+                },
                 vec![],
             )
         };
@@ -605,6 +618,9 @@ mod tests {
         assert!(p.verify(&ctx).is_ok());
         assert!(p.is_safe(&ctx));
         let wire = PbftMessage::Propose(p);
-        assert_eq!(PbftMessage::from_wire_bytes(&wire.to_wire_bytes()).unwrap(), wire);
+        assert_eq!(
+            PbftMessage::from_wire_bytes(&wire.to_wire_bytes()).unwrap(),
+            wire
+        );
     }
 }

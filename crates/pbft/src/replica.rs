@@ -174,7 +174,9 @@ impl PbftReplica {
     }
 
     fn on_new_leader(&mut self, msg: PbftNewLeader, ctx: &mut Context<'_, PbftMessage>) {
-        if msg.view != self.cur_view || self.cfg.leader_of(self.cur_view) != self.id || self.proposed
+        if msg.view != self.cur_view
+            || self.cfg.leader_of(self.cur_view) != self.id
+            || self.proposed
         {
             return;
         }
@@ -312,7 +314,12 @@ impl Process for PbftReplica {
         self.enter_view(View::FIRST, ctx);
     }
 
-    fn on_message(&mut self, _from: ProcessId, msg: PbftMessage, ctx: &mut Context<'_, PbftMessage>) {
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: PbftMessage,
+        ctx: &mut Context<'_, PbftMessage>,
+    ) {
         if msg.verify(&self.verify_ctx()).is_err() {
             self.stats.rejected += 1;
             return;
@@ -343,7 +350,10 @@ impl Process for PbftReplica {
             return;
         }
         let action = self.sync.on_timeout();
-        ctx.set_timer(self.cfg.timeout_for(self.cur_view), TimerToken(self.cur_view.0));
+        ctx.set_timer(
+            self.cfg.timeout_for(self.cur_view),
+            TimerToken(self.cur_view.0),
+        );
         self.apply_sync_action(action, ctx);
     }
 }

@@ -19,7 +19,7 @@
 ///
 /// Panics if `f ≥ n/3` (i.e. unless `n ≥ 3f + 1`).
 pub fn deterministic_quorum(n: usize, f: usize) -> usize {
-    assert!(n >= 3 * f + 1, "requires n ≥ 3f+1 (got n={n}, f={f})");
+    assert!(n > 3 * f, "requires n ≥ 3f+1 (got n={n}, f={f})");
     (n + f + 1).div_ceil(2)
 }
 
@@ -81,7 +81,7 @@ mod tests {
             let quorum = deterministic_quorum(n, f);
             // |Q1 ∩ Q2| ≥ 2*quorum − n, which must exceed f.
             assert!(
-                2 * quorum - n >= f + 1,
+                2 * quorum - n > f,
                 "n={n} f={f}: intersection may be fully Byzantine"
             );
         }

@@ -146,10 +146,19 @@ mod tests {
     #[test]
     fn quorum_fires_exactly_once() {
         let mut t: QuorumTracker<u64, &str> = QuorumTracker::new(3);
-        assert_eq!(t.insert(1, ReplicaId(0), "a"), QuorumOutcome::Pending { count: 1 });
-        assert_eq!(t.insert(1, ReplicaId(1), "b"), QuorumOutcome::Pending { count: 2 });
+        assert_eq!(
+            t.insert(1, ReplicaId(0), "a"),
+            QuorumOutcome::Pending { count: 1 }
+        );
+        assert_eq!(
+            t.insert(1, ReplicaId(1), "b"),
+            QuorumOutcome::Pending { count: 2 }
+        );
         assert_eq!(t.insert(1, ReplicaId(2), "c"), QuorumOutcome::Reached);
-        assert_eq!(t.insert(1, ReplicaId(3), "d"), QuorumOutcome::AlreadyReached);
+        assert_eq!(
+            t.insert(1, ReplicaId(3), "d"),
+            QuorumOutcome::AlreadyReached
+        );
         assert!(t.is_reached(&1));
         assert_eq!(t.count(&1), 4);
     }
@@ -157,7 +166,10 @@ mod tests {
     #[test]
     fn duplicates_do_not_inflate() {
         let mut t: QuorumTracker<u64, ()> = QuorumTracker::new(2);
-        assert_eq!(t.insert(9, ReplicaId(5), ()), QuorumOutcome::Pending { count: 1 });
+        assert_eq!(
+            t.insert(9, ReplicaId(5), ()),
+            QuorumOutcome::Pending { count: 1 }
+        );
         for _ in 0..10 {
             assert_eq!(t.insert(9, ReplicaId(5), ()), QuorumOutcome::Duplicate);
         }
@@ -182,7 +194,10 @@ mod tests {
         t.insert(0, ReplicaId(5), 50);
         t.insert(0, ReplicaId(1), 10);
         t.insert(0, ReplicaId(3), 30);
-        assert_eq!(t.senders(&0), vec![ReplicaId(1), ReplicaId(3), ReplicaId(5)]);
+        assert_eq!(
+            t.senders(&0),
+            vec![ReplicaId(1), ReplicaId(3), ReplicaId(5)]
+        );
         let payloads: Vec<u8> = t.votes(&0).map(|(_, p)| *p).collect();
         assert_eq!(payloads, vec![10, 30, 50]);
     }

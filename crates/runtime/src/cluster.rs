@@ -126,7 +126,15 @@ impl ClusterBuilder {
             let n = self.n;
             handles.push(thread::spawn(move || {
                 replica_main(
-                    i, n, base_port, listener, cfg, sk, public, shutdown, decision_tx,
+                    i,
+                    n,
+                    base_port,
+                    listener,
+                    cfg,
+                    sk,
+                    public,
+                    shutdown,
+                    decision_tx,
                 );
             }));
         }
@@ -160,12 +168,12 @@ impl ClusterBuilder {
         }
 
         if decided < self.n {
-            return Err(ClusterError::Timeout {
-                decided,
-                n: self.n,
-            });
+            return Err(ClusterError::Timeout { decided, n: self.n });
         }
-        Ok(decisions.into_iter().map(|d| d.expect("all decided")).collect())
+        Ok(decisions
+            .into_iter()
+            .map(|d| d.expect("all decided"))
+            .collect())
     }
 }
 
@@ -252,9 +260,7 @@ fn replica_main(
         // Wait for the next event or timer deadline.
         let wait = timers
             .peek()
-            .map(|Reverse((deadline, _))| {
-                deadline.saturating_duration_since(Instant::now())
-            })
+            .map(|Reverse((deadline, _))| deadline.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(20))
             .min(Duration::from_millis(20));
         match event_rx.recv_timeout(wait) {
@@ -351,11 +357,11 @@ fn tick_to_duration(d: SimDuration) -> Duration {
     Duration::from_micros(d.ticks())
 }
 
-fn connect_peer<'a>(
-    peers: &'a mut [Option<TcpStream>],
+fn connect_peer(
+    peers: &mut [Option<TcpStream>],
     to: usize,
     base_port: u16,
-) -> Option<&'a mut TcpStream> {
+) -> Option<&mut TcpStream> {
     if peers[to].is_none() {
         let addr = format!("127.0.0.1:{}", base_port + to as u16);
         // Peers boot concurrently: retry briefly before giving up.

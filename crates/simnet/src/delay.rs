@@ -374,7 +374,12 @@ mod tests {
         // Post-GST: delays at most 10.
         for _ in 0..50 {
             let d = m
-                .delay(ProcessId(0), ProcessId(1), SimTime::from_ticks(1000), &mut r)
+                .delay(
+                    ProcessId(0),
+                    ProcessId(1),
+                    SimTime::from_ticks(1000),
+                    &mut r,
+                )
                 .unwrap();
             assert!(d.ticks() <= 10);
         }
@@ -384,7 +389,10 @@ mod tests {
     fn lossy_drops_with_probability_one() {
         let mut m = Lossy::new(Fixed(SimDuration::ZERO), 1.0, 0.0);
         let mut r = rng();
-        assert_eq!(m.delay(ProcessId(0), ProcessId(1), SimTime::ZERO, &mut r), None);
+        assert_eq!(
+            m.delay(ProcessId(0), ProcessId(1), SimTime::ZERO, &mut r),
+            None
+        );
     }
 
     #[test]
@@ -429,7 +437,12 @@ mod tests {
         );
         // Across groups after heal: normal delay again.
         assert_eq!(
-            m.delay(ProcessId(0), ProcessId(2), SimTime::from_ticks(2000), &mut r),
+            m.delay(
+                ProcessId(0),
+                ProcessId(2),
+                SimTime::from_ticks(2000),
+                &mut r
+            ),
             Some(SimDuration::from_ticks(5))
         );
         // Unlisted processes default to group 0.
@@ -441,10 +454,8 @@ mod tests {
 
     #[test]
     fn synchronous_constructor() {
-        let m = PartialSynchrony::synchronous(
-            SimDuration::from_ticks(1),
-            SimDuration::from_ticks(4),
-        );
+        let m =
+            PartialSynchrony::synchronous(SimDuration::from_ticks(1), SimDuration::from_ticks(4));
         assert_eq!(m.gst(), SimTime::ZERO);
         assert_eq!(m.delta(), SimDuration::from_ticks(4));
     }

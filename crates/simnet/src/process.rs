@@ -50,7 +50,12 @@ pub trait Process {
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>);
 
     /// Invoked for each delivered message.
-    fn on_message(&mut self, from: ProcessId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>);
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    );
 
     /// Invoked when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Self::Message>);

@@ -283,20 +283,26 @@ where
                             .duplicate_delay(origin, to, self.now, &mut self.rng)
                     {
                         let at = self.now + d;
-                        self.push(at, EventKind::Deliver {
-                            to,
-                            from: origin,
-                            msg: msg.clone(),
-                        });
+                        self.push(
+                            at,
+                            EventKind::Deliver {
+                                to,
+                                from: origin,
+                                msg: msg.clone(),
+                            },
+                        );
                     }
                     match self.network.delay(origin, to, self.now, &mut self.rng) {
                         Some(d) => {
                             let at = self.now + d;
-                            self.push(at, EventKind::Deliver {
-                                to,
-                                from: origin,
-                                msg,
-                            });
+                            self.push(
+                                at,
+                                EventKind::Deliver {
+                                    to,
+                                    from: origin,
+                                    msg,
+                                },
+                            );
                         }
                         None => {
                             self.metrics.record_drop(kind);
@@ -313,10 +319,13 @@ where
                 }
                 Action::SetTimer { delay, token } => {
                     let at = self.now + delay;
-                    self.push(at, EventKind::Timer {
-                        process: origin,
-                        token,
-                    });
+                    self.push(
+                        at,
+                        EventKind::Timer {
+                            process: origin,
+                            token,
+                        },
+                    );
                 }
                 Action::Halt => {
                     self.alive[origin.index()] = false;
@@ -608,10 +617,7 @@ mod tests {
     #[test]
     fn run_until_condition() {
         let mut sim = two_process_sim(1);
-        let outcome = sim.run_until_condition(
-            |s| s.process(ProcessId(0)).pongs_seen >= 2,
-            1000,
-        );
+        let outcome = sim.run_until_condition(|s| s.process(ProcessId(0)).pongs_seen >= 2, 1000);
         assert_eq!(outcome, RunOutcome::ConditionMet);
         assert_eq!(sim.process(ProcessId(0)).pongs_seen, 2);
     }
@@ -706,10 +712,7 @@ mod tests {
             }
             fn on_timer(&mut self, _t: TimerToken, _c: &mut Context<'_, Msg>) {}
         }
-        let mut sim = Simulation::new(
-            Lossy::new(Fixed(SimDuration::from_ticks(1)), 0.0, 1.0),
-            0,
-        );
+        let mut sim = Simulation::new(Lossy::new(Fixed(SimDuration::from_ticks(1)), 0.0, 1.0), 0);
         sim.add_process(Counter { got: 0 });
         sim.add_process(Counter { got: 0 });
         sim.run_to_quiescence(100);

@@ -45,11 +45,7 @@ impl SimTime {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("virtual time overflow"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("virtual time overflow"))
     }
 }
 
@@ -147,7 +143,10 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_ticks(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_ticks(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::from_ticks(u64::MAX).saturating_mul(2),
             SimDuration::from_ticks(u64::MAX)

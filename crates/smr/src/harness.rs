@@ -58,10 +58,8 @@ impl SmrBuilder {
         let keyring = Keyring::generate(self.n, &self.seed.to_be_bytes());
         let public = Arc::new(keyring.public());
 
-        let network = PartialSynchrony::synchronous(
-            SimDuration::from_ticks(1),
-            SimDuration::from_ticks(100),
-        );
+        let network =
+            PartialSynchrony::synchronous(SimDuration::from_ticks(1), SimDuration::from_ticks(100));
         let mut sim: Simulation<SmrNode> = Simulation::new(network, self.seed);
         for i in 0..self.n {
             let id = ReplicaId::from(i);

@@ -122,10 +122,7 @@ impl SmrNode {
     /// The value this node proposes for the next slot: its next pending
     /// command, or a no-op.
     fn next_value(&mut self) -> Value {
-        self.pending
-            .pop_front()
-            .unwrap_or(Command::Noop)
-            .to_value()
+        self.pending.pop_front().unwrap_or(Command::Noop).to_value()
     }
 
     /// Opens slot `slot` and runs its `on_start`.
@@ -155,12 +152,20 @@ impl SmrNode {
     }
 
     /// Translates a slot replica's actions into outer-world actions.
-    fn relay(&mut self, slot: u64, actions: Vec<Action<Message>>, ctx: &mut Context<'_, SlotMessage>) {
+    fn relay(
+        &mut self,
+        slot: u64,
+        actions: Vec<Action<Message>>,
+        ctx: &mut Context<'_, SlotMessage>,
+    ) {
         for action in actions {
             match action {
                 Action::Send { to, msg } => ctx.send(to, SlotMessage { slot, inner: msg }),
                 Action::SetTimer { delay, token } => {
-                    debug_assert!(token.0 < (1 << SLOT_TOKEN_SHIFT), "view too large for token packing");
+                    debug_assert!(
+                        token.0 < (1 << SLOT_TOKEN_SHIFT),
+                        "view too large for token packing"
+                    );
                     ctx.set_timer(delay, TimerToken((slot << SLOT_TOKEN_SHIFT) | token.0));
                 }
                 Action::Halt => {}
@@ -230,7 +235,12 @@ impl Process for SmrNode {
         self.open_slot(0, ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: SlotMessage, ctx: &mut Context<'_, SlotMessage>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: SlotMessage,
+        ctx: &mut Context<'_, SlotMessage>,
+    ) {
         let slot = msg.slot;
         if self.slots.contains_key(&slot) {
             self.dispatch(slot, Some(from), DispatchEvent::Message(msg.inner), ctx);

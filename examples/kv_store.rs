@@ -45,7 +45,10 @@ fn main() {
         .run();
 
     assert!(outcome.logs_consistent(), "all replicas hold the same log");
-    assert!(outcome.states_consistent(), "all replicas computed the same state");
+    assert!(
+        outcome.states_consistent(),
+        "all replicas computed the same state"
+    );
 
     println!("agreed log ({} slots):", target);
     for (slot, cmd) in outcome.agreed_log().expect("consistent").iter().enumerate() {

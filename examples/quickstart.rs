@@ -29,7 +29,10 @@ fn main() {
 
     let outcome = builder.run();
 
-    assert!(outcome.all_correct_decided(), "every correct replica decides");
+    assert!(
+        outcome.all_correct_decided(),
+        "every correct replica decides"
+    );
     assert!(outcome.agreement(), "and they agree");
 
     let decision = outcome.decisions.values().next().expect("decided");

@@ -14,7 +14,10 @@ fn all_three_protocols_decide() {
     let pbft = PbftInstanceBuilder::new(n).seed(4).run();
     let hs = HsInstanceBuilder::new(n).seed(4).run();
 
-    assert!(probft.all_correct_decided() && probft.agreement(), "{probft:?}");
+    assert!(
+        probft.all_correct_decided() && probft.agreement(),
+        "{probft:?}"
+    );
     assert!(pbft.all_correct_decided() && pbft.agreement(), "{pbft:?}");
     assert!(hs.all_correct_decided() && hs.agreement(), "{hs:?}");
 }
@@ -34,7 +37,10 @@ fn message_ordering_matches_figure_1b() {
         pbft.metrics.total_sent_excluding_self(),
         hs.metrics.total_sent_excluding_self(),
     );
-    assert!(h < p && p < b, "ordering broken: hs={h} probft={p} pbft={b}");
+    assert!(
+        h < p && p < b,
+        "ordering broken: hs={h} probft={p} pbft={b}"
+    );
 
     // Closed-form sanity: measured ProBFT within 20% of the formula.
     let formula = probft::analysis::messages::probft_messages_discrete(n, 2.0, 1.7);

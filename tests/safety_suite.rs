@@ -12,13 +12,18 @@ const N: usize = 31;
 const F: usize = 10;
 
 fn strategies() -> Vec<(&'static str, Vec<(ReplicaId, ByzantineStrategy)>)> {
-    let all_byz =
-        |s: ByzantineStrategy| -> Vec<(ReplicaId, ByzantineStrategy)> {
-            (0..F).map(|i| (ReplicaId::from(i), s.clone())).collect()
-        };
+    let all_byz = |s: ByzantineStrategy| -> Vec<(ReplicaId, ByzantineStrategy)> {
+        (0..F).map(|i| (ReplicaId::from(i), s.clone())).collect()
+    };
     vec![
-        ("silent leader", vec![(ReplicaId(0), ByzantineStrategy::Silent)]),
-        ("crash leader", vec![(ReplicaId(0), ByzantineStrategy::Crash)]),
+        (
+            "silent leader",
+            vec![(ReplicaId(0), ByzantineStrategy::Silent)],
+        ),
+        (
+            "crash leader",
+            vec![(ReplicaId(0), ByzantineStrategy::Crash)],
+        ),
         (
             "equivocating leader",
             vec![(
@@ -29,7 +34,10 @@ fn strategies() -> Vec<(&'static str, Vec<(ReplicaId, ByzantineStrategy)>)> {
                 },
             )],
         ),
-        ("split leader", vec![(ReplicaId(0), ByzantineStrategy::SplitLeader)]),
+        (
+            "split leader",
+            vec![(ReplicaId(0), ByzantineStrategy::SplitLeader)],
+        ),
         (
             "optimal split, full collusion",
             all_byz(ByzantineStrategy::OptimalSplitLeader),
@@ -37,7 +45,12 @@ fn strategies() -> Vec<(&'static str, Vec<(ReplicaId, ByzantineStrategy)>)> {
         (
             "flooders",
             (1..=3)
-                .map(|i| (ReplicaId::from(i as usize), ByzantineStrategy::FloodingReplica))
+                .map(|i| {
+                    (
+                        ReplicaId::from(i as usize),
+                        ByzantineStrategy::FloodingReplica,
+                    )
+                })
                 .collect(),
         ),
     ]
@@ -84,7 +97,11 @@ fn decided_values_are_attributable() {
                 || digest == eq_a.digest()
                 || digest == eq_b.digest()
                 || d.value.as_bytes().starts_with(b"equivocation-");
-            assert!(known, "strategy '{name}' decided unattributable {:?}", d.value);
+            assert!(
+                known,
+                "strategy '{name}' decided unattributable {:?}",
+                d.value
+            );
         }
     }
 }
@@ -120,7 +137,11 @@ fn later_views_carry_the_decided_value() {
         .run();
     assert!(outcome.agreement());
     assert!(outcome.all_correct_decided());
-    let decided: Vec<_> = outcome.decisions.values().map(|d| d.value.digest()).collect();
+    let decided: Vec<_> = outcome
+        .decisions
+        .values()
+        .map(|d| d.value.digest())
+        .collect();
     assert!(
         decided.windows(2).all(|w| w[0] == w[1]),
         "value changed across views"

@@ -1,0 +1,90 @@
+//! SMR throughput sweep — the scaling scaffolding for the ROADMAP's
+//! heavy-traffic north star.
+//!
+//! Orders a fixed PUT workload through the pipelined, batched SMR engine
+//! across a grid of cluster size × pipeline depth × batch size and reports
+//! virtual completion time, slots used, mean batch size, commands per
+//! megatick (= commands/sec under the runtime's tick-is-a-microsecond
+//! convention), and total messages. The `depth 1 × batch 1` rows are the
+//! sequential baseline every other row is measured against.
+//!
+//! ```text
+//! cargo run -p probft-bench --release --bin smr_throughput [-- --smoke]
+//! ```
+//!
+//! `--smoke` runs a tiny grid (used by CI to keep this path exercised).
+
+use probft_bench::print_row;
+use probft_quorum::ReplicaId;
+use probft_smr::{Command, SmrBuilder};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (ns, depths, batches, commands): (&[usize], &[usize], &[usize], usize) = if smoke {
+        (&[4], &[1, 4], &[1, 8], 16)
+    } else {
+        (&[4, 7, 10], &[1, 2, 4, 8], &[1, 4, 8], 64)
+    };
+
+    println!(
+        "SMR throughput sweep — {commands}-command workload{}\n",
+        if smoke { " (smoke grid)" } else { "" }
+    );
+    print_row(
+        "n×depth×batch",
+        &[
+            "ticks".into(),
+            "slots".into(),
+            "mean batch".into(),
+            "cmds/Mtick".into(),
+            "messages".into(),
+            "speedup".into(),
+        ],
+    );
+
+    for &n in ns {
+        let mut baseline_ticks = None;
+        for &depth in depths {
+            for &batch in batches {
+                let workload: Vec<Command> = (0..commands)
+                    .map(|i| Command::Put {
+                        key: format!("key{i}"),
+                        value: format!("val{i}"),
+                    })
+                    .collect();
+                let outcome = SmrBuilder::new(n, commands)
+                    .seed(1)
+                    .pipeline_depth(depth)
+                    .batch_size(batch)
+                    .workload(ReplicaId(0), workload)
+                    .run();
+                assert!(
+                    outcome.logs_consistent() && outcome.states_consistent(),
+                    "n={n} depth={depth} batch={batch}: inconsistent replicas \
+                     ({:?})",
+                    outcome.run_outcome
+                );
+
+                let t = outcome.throughput;
+                let ticks = t.ticks.max(1);
+                let baseline = *baseline_ticks.get_or_insert(ticks);
+                print_row(
+                    &format!("{n:>2} × {depth} × {batch}"),
+                    &[
+                        ticks.to_string(),
+                        t.slots_applied.to_string(),
+                        format!("{:.2}", t.mean_batch_size()),
+                        format!("{:.0}", t.commands_per_megatick()),
+                        outcome.metrics.total_sent().to_string(),
+                        format!("{:.1}x", baseline as f64 / ticks as f64),
+                    ],
+                );
+            }
+        }
+        println!();
+    }
+
+    println!("speedup is vs. the first (sequential, depth 1 × batch 1) row of each n.");
+    println!("Pipelining overlaps consensus rounds; batching amortises one round");
+    println!("over many commands — together they multiply.");
+}

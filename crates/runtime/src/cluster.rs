@@ -1,10 +1,13 @@
 //! Thread-per-replica TCP cluster running the unmodified ProBFT replica.
 //!
-//! Each replica owns a listener socket on `127.0.0.1:base_port + id`, a
-//! deadline-driven event loop (mpsc channel + timer heap), and lazy
-//! outgoing connections to its peers. Frames carry `u32 sender ‖ message
-//! bytes`; the replica's own cryptographic verification decides what to
-//! trust, exactly as in the simulator.
+//! Each replica owns a listener socket (an OS-assigned loopback port by
+//! default, or `127.0.0.1:base_port + id` when a fixed range is
+//! requested), a deadline-driven event loop (mpsc channel + timer heap),
+//! and lazy outgoing connections to its peers. Frames carry `u32 sender ‖
+//! message bytes`; the replica's own cryptographic verification decides
+//! what to trust, exactly as in the simulator. Malformed peer input never
+//! panics a reader thread — short, undecodable, and torn frames are
+//! dropped and counted in [`TransportStats`].
 
 use crate::transport::{read_frame, write_frame, FrameError};
 use probft_core::config::{ProbftConfig, SharedConfig};
@@ -23,12 +26,65 @@ use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 use std::io::BufReader;
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Counters for peer input the frame-read path rejected instead of
+/// trusting (or panicking on). Shared by every reader thread of a cluster.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    short_frames: AtomicU64,
+    malformed_frames: AtomicU64,
+    torn_frames: AtomicU64,
+}
+
+impl TransportStats {
+    /// Frames too short to carry the 4-byte sender prefix.
+    pub fn short_frames(&self) -> u64 {
+        self.short_frames.load(Ordering::Relaxed)
+    }
+
+    /// Frames whose sender id, announced length, or message body failed
+    /// to decode (includes oversized length prefixes).
+    pub fn malformed_frames(&self) -> u64 {
+        self.malformed_frames.load(Ordering::Relaxed)
+    }
+
+    /// Connections that failed mid-stream: EOF inside a length prefix or
+    /// payload, a mid-frame stall, or a socket error.
+    pub fn torn_frames(&self) -> u64 {
+        self.torn_frames.load(Ordering::Relaxed)
+    }
+}
+
+/// Why an inbound frame was rejected before reaching the replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FrameReject {
+    /// Shorter than the 4-byte sender prefix.
+    Short,
+    /// Sender id out of range or undecodable message body.
+    Malformed,
+}
+
+/// Decodes `u32 sender ‖ message bytes` without any panicking slice or
+/// conversion — every byte here is peer-controlled.
+fn parse_peer_frame(frame: &[u8], n: usize) -> Result<(ProcessId, Message), FrameReject> {
+    match frame {
+        [a, b, c, d, rest @ ..] => {
+            let from = u32::from_be_bytes([*a, *b, *c, *d]) as usize;
+            if from >= n {
+                return Err(FrameReject::Malformed);
+            }
+            let msg = Message::from_wire_bytes(rest).map_err(|_| FrameReject::Malformed)?;
+            Ok((ProcessId(from), msg))
+        }
+        _ => Err(FrameReject::Short),
+    }
+}
 
 /// Errors from running a live cluster.
 #[derive(Debug)]
@@ -58,28 +114,34 @@ impl fmt::Display for ClusterError {
 impl Error for ClusterError {}
 
 /// Builds and runs a localhost TCP ProBFT cluster.
+///
+/// By default every replica binds an OS-assigned loopback port (bind to
+/// port 0, then read the actual address), so parallel test runs and
+/// occupied ports cannot collide; [`base_port`](Self::base_port) opts into
+/// a fixed range when externally-known addresses are needed.
 #[derive(Debug)]
 pub struct ClusterBuilder {
     n: usize,
-    base_port: u16,
+    base_port: Option<u16>,
     seed: u64,
     deadline: Duration,
 }
 
 impl ClusterBuilder {
-    /// Starts building an `n`-replica cluster.
+    /// Starts building an `n`-replica cluster on OS-assigned ports.
     pub fn new(n: usize) -> Self {
         ClusterBuilder {
             n,
-            base_port: 45_000,
+            base_port: None,
             seed: 1,
             deadline: Duration::from_secs(30),
         }
     }
 
-    /// First TCP port; replica `i` listens on `base_port + i`.
+    /// Uses a fixed port range instead of OS-assigned ports; replica `i`
+    /// listens on `base_port + i`.
     pub fn base_port(mut self, port: u16) -> Self {
-        self.base_port = port;
+        self.base_port = Some(port);
         self
     }
 
@@ -102,18 +164,46 @@ impl ClusterBuilder {
     /// [`ClusterError::Bind`] if a port cannot be bound,
     /// [`ClusterError::Timeout`] if the deadline passes first.
     pub fn run(self) -> Result<Vec<Decision>, ClusterError> {
+        self.run_with_stats().map(|(decisions, _)| decisions)
+    }
+
+    /// Like [`run`](Self::run), additionally returning the cluster-wide
+    /// frame-rejection counters (for observability and malformed-peer
+    /// tests).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with_stats(self) -> Result<(Vec<Decision>, Arc<TransportStats>), ClusterError> {
         let cfg: SharedConfig = Arc::new(ProbftConfig::builder(self.n).build());
         let keyring = Keyring::generate(self.n, &self.seed.to_be_bytes());
         let public = Arc::new(keyring.public());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(TransportStats::default());
         let (decision_tx, decision_rx) = mpsc::channel::<(usize, Decision)>();
 
-        // Bind all listeners up front so peers can connect immediately.
+        // Bind all listeners up front (collecting the OS-assigned
+        // addresses) so peers can connect immediately.
         let mut listeners = Vec::with_capacity(self.n);
+        let mut addrs = Vec::with_capacity(self.n);
         for i in 0..self.n {
-            let addr = format!("127.0.0.1:{}", self.base_port + i as u16);
-            listeners.push(TcpListener::bind(&addr).map_err(ClusterError::Bind)?);
+            let addr = match self.base_port {
+                Some(base) => {
+                    let port = base.checked_add(i as u16).ok_or_else(|| {
+                        ClusterError::Bind(std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "base_port + replica id overflows u16",
+                        ))
+                    })?;
+                    format!("127.0.0.1:{port}")
+                }
+                None => "127.0.0.1:0".to_string(),
+            };
+            let listener = TcpListener::bind(&addr).map_err(ClusterError::Bind)?;
+            addrs.push(listener.local_addr().map_err(ClusterError::Bind)?);
+            listeners.push(listener);
         }
+        let addrs = Arc::new(addrs);
 
         let mut handles = Vec::with_capacity(self.n);
         for (i, listener) in listeners.into_iter().enumerate() {
@@ -121,19 +211,19 @@ impl ClusterBuilder {
             let sk = keyring.signing_key(i).expect("in range").clone();
             let public = public.clone();
             let shutdown = shutdown.clone();
+            let stats = stats.clone();
             let decision_tx = decision_tx.clone();
-            let base_port = self.base_port;
-            let n = self.n;
+            let addrs = addrs.clone();
             handles.push(thread::spawn(move || {
                 replica_main(
                     i,
-                    n,
-                    base_port,
+                    addrs,
                     listener,
                     cfg,
                     sk,
                     public,
                     shutdown,
+                    stats,
                     decision_tx,
                 );
             }));
@@ -170,10 +260,13 @@ impl ClusterBuilder {
         if decided < self.n {
             return Err(ClusterError::Timeout { decided, n: self.n });
         }
-        Ok(decisions
-            .into_iter()
-            .map(|d| d.expect("all decided"))
-            .collect())
+        Ok((
+            decisions
+                .into_iter()
+                .map(|d| d.expect("all decided"))
+                .collect(),
+            stats,
+        ))
     }
 }
 
@@ -185,29 +278,34 @@ enum Event {
 #[allow(clippy::too_many_arguments)]
 fn replica_main(
     id: usize,
-    n: usize,
-    base_port: u16,
+    addrs: Arc<Vec<SocketAddr>>,
     listener: TcpListener,
     cfg: SharedConfig,
     sk: probft_crypto::schnorr::SigningKey,
     public: Arc<probft_crypto::keyring::PublicKeyring>,
     shutdown: Arc<AtomicBool>,
+    stats: Arc<TransportStats>,
     decision_tx: mpsc::Sender<(usize, Decision)>,
 ) {
+    let n = addrs.len();
     let (event_tx, event_rx) = mpsc::channel::<Event>();
 
     // Accept loop: one reader thread per inbound connection.
     {
         let event_tx = event_tx.clone();
         let shutdown = shutdown.clone();
-        listener.set_nonblocking(true).expect("set_nonblocking");
+        let stats = stats.clone();
+        if listener.set_nonblocking(true).is_err() {
+            return; // cannot accept peers; the deadline will report this
+        }
         thread::spawn(move || {
             while !shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         let event_tx = event_tx.clone();
                         let shutdown = shutdown.clone();
-                        thread::spawn(move || reader_loop(stream, event_tx, shutdown));
+                        let stats = stats.clone();
+                        thread::spawn(move || reader_loop(stream, n, event_tx, shutdown, stats));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(5));
@@ -239,7 +337,7 @@ fn replica_main(
         replica.on_start(&mut ctx);
         ctx.drain_actions()
     };
-    apply_actions(id, n, base_port, actions, &mut peers, &mut timers, started);
+    apply_actions(id, &addrs, actions, &mut peers, &mut timers, started);
 
     while !shutdown.load(Ordering::SeqCst) {
         // Fire due timers.
@@ -254,7 +352,7 @@ fn replica_main(
                 replica.on_timer(token, &mut ctx);
                 ctx.drain_actions()
             };
-            apply_actions(id, n, base_port, actions, &mut peers, &mut timers, started);
+            apply_actions(id, &addrs, actions, &mut peers, &mut timers, started);
         }
 
         // Wait for the next event or timer deadline.
@@ -271,7 +369,7 @@ fn replica_main(
                     replica.on_message(from, msg, &mut ctx);
                     ctx.drain_actions()
                 };
-                apply_actions(id, n, base_port, actions, &mut peers, &mut timers, started);
+                apply_actions(id, &addrs, actions, &mut peers, &mut timers, started);
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
@@ -286,44 +384,58 @@ fn replica_main(
     }
 }
 
-fn reader_loop(stream: TcpStream, event_tx: mpsc::Sender<Event>, shutdown: Arc<AtomicBool>) {
+fn reader_loop(
+    stream: TcpStream,
+    n: usize,
+    event_tx: mpsc::Sender<Event>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<TransportStats>,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut reader = BufReader::new(stream);
     while !shutdown.load(Ordering::SeqCst) {
         match read_frame(&mut reader) {
-            Ok(Some(frame)) => {
-                if frame.len() < 4 {
-                    continue;
-                }
-                let from = u32::from_be_bytes(frame[..4].try_into().expect("4 bytes"));
-                match Message::from_wire_bytes(&frame[4..]) {
-                    Ok(msg) => {
-                        if event_tx
-                            .send(Event::Net(ProcessId(from as usize), msg))
-                            .is_err()
-                        {
-                            return;
-                        }
+            Ok(Some(frame)) => match parse_peer_frame(&frame, n) {
+                Ok((from, msg)) => {
+                    if event_tx.send(Event::Net(from, msg)).is_err() {
+                        return;
                     }
-                    Err(_) => continue, // malformed: drop, as a real node would
                 }
-            }
-            Ok(None) => return, // peer closed
+                // Rejected input is dropped, counted, and the connection
+                // kept — a malformed peer must not silence a link.
+                Err(FrameReject::Short) => {
+                    stats.short_frames.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(FrameReject::Malformed) => {
+                    stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Ok(None) => return, // peer closed at a frame boundary
             Err(FrameError::Io(e))
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 continue
             }
-            Err(_) => return,
+            // A peer-announced length beyond the cap is malformed input,
+            // not a connection fault.
+            Err(FrameError::Oversized(_)) => {
+                stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // Everything else ended the connection mid-stream: EOF inside
+            // a frame, a mid-frame stall, or a socket error (reset etc.).
+            Err(FrameError::Io(_) | FrameError::Stalled { .. }) => {
+                stats.torn_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         }
     }
 }
 
 fn apply_actions(
     id: usize,
-    n: usize,
-    base_port: u16,
+    addrs: &[SocketAddr],
     actions: Vec<Action<Message>>,
     peers: &mut [Option<TcpStream>],
     timers: &mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
@@ -332,12 +444,12 @@ fn apply_actions(
     for action in actions {
         match action {
             Action::Send { to, msg } => {
-                if to.index() >= n {
+                if to.index() >= addrs.len() {
                     continue;
                 }
                 let mut frame = (id as u32).to_be_bytes().to_vec();
                 msg.encode(&mut frame);
-                if let Some(stream) = connect_peer(peers, to.index(), base_port) {
+                if let Some(stream) = connect_peer(peers, to.index(), addrs) {
                     if write_frame(stream, &frame).is_err() {
                         peers[to.index()] = None; // drop broken link; retry later
                     }
@@ -357,16 +469,15 @@ fn tick_to_duration(d: SimDuration) -> Duration {
     Duration::from_micros(d.ticks())
 }
 
-fn connect_peer(
-    peers: &mut [Option<TcpStream>],
+fn connect_peer<'a>(
+    peers: &'a mut [Option<TcpStream>],
     to: usize,
-    base_port: u16,
-) -> Option<&mut TcpStream> {
+    addrs: &[SocketAddr],
+) -> Option<&'a mut TcpStream> {
     if peers[to].is_none() {
-        let addr = format!("127.0.0.1:{}", base_port + to as u16);
         // Peers boot concurrently: retry briefly before giving up.
         for _ in 0..50 {
-            match TcpStream::connect(&addr) {
+            match TcpStream::connect(addrs[to]) {
                 Ok(s) => {
                     let _ = s.set_nodelay(true);
                     peers[to] = Some(s);
@@ -382,13 +493,15 @@ fn connect_peer(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     #[test]
     fn five_replica_cluster_decides() {
-        let decisions = ClusterBuilder::new(5)
-            .base_port(47_100)
+        // Default OS-assigned ports: no fixed range, no collisions under
+        // parallel test runs.
+        let (decisions, stats) = ClusterBuilder::new(5)
             .deadline(Duration::from_secs(30))
-            .run()
+            .run_with_stats()
             .expect("cluster decides");
         assert_eq!(decisions.len(), 5);
         let first = decisions[0].value.digest();
@@ -398,12 +511,129 @@ mod tests {
         );
         // Replica 0 leads view 1 and proposes its own value.
         assert_eq!(decisions[0].value, Value::from_tag(0));
+        // Honest peers produce no rejected frames.
+        assert_eq!(stats.short_frames(), 0);
+        assert_eq!(stats.malformed_frames(), 0);
     }
 
     #[test]
     fn bind_conflict_reported() {
-        let _hold = TcpListener::bind("127.0.0.1:47321").expect("bind");
-        let err = ClusterBuilder::new(4).base_port(47_321).run().unwrap_err();
+        // Hold an OS-assigned port, then ask the cluster to use exactly it
+        // — guaranteed conflict without hardcoding a port number.
+        let hold = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let port = hold.local_addr().expect("addr").port();
+        let err = ClusterBuilder::new(4).base_port(port).run().unwrap_err();
         assert!(matches!(err, ClusterError::Bind(_)), "{err}");
+    }
+
+    /// Regression: short (< 4 byte) and undecodable frames from a rogue
+    /// peer used to reach a panicking `expect` path; they must be counted
+    /// and dropped while the reader thread keeps serving the connection.
+    #[test]
+    fn malformed_peer_frames_are_counted_not_fatal() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (event_tx, event_rx) = mpsc::channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(TransportStats::default());
+
+        let reader = {
+            let shutdown = shutdown.clone();
+            let stats = stats.clone();
+            thread::spawn(move || {
+                let (stream, _) = listener.accept().expect("accept");
+                reader_loop(stream, 4, event_tx, shutdown, stats);
+            })
+        };
+
+        let mut peer = TcpStream::connect(addr).expect("connect");
+        // Frame shorter than the sender prefix.
+        write_frame(&mut peer, &[0xAB, 0xCD]).expect("short frame");
+        // Valid sender id (0 < 4) but garbage message bytes.
+        write_frame(&mut peer, &[0, 0, 0, 0, 0xFF, 0xFF, 0xFF]).expect("garbage frame");
+        // Out-of-range sender id with a plausible length.
+        write_frame(&mut peer, &[0xFF, 0xFF, 0xFF, 0xFF, 1]).expect("bogus sender");
+        drop(peer); // clean EOF at a frame boundary: not a torn frame
+
+        reader.join().expect("reader thread exits cleanly");
+        assert_eq!(stats.short_frames(), 1);
+        assert_eq!(stats.malformed_frames(), 2);
+        assert_eq!(stats.torn_frames(), 0);
+        assert!(
+            event_rx.try_recv().is_err(),
+            "no rejected frame may reach the replica"
+        );
+    }
+
+    /// A peer dying mid-frame (torn length prefix) is recorded as a torn
+    /// connection, not mistaken for a clean close.
+    #[test]
+    fn torn_peer_connection_is_counted() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (event_tx, _event_rx) = mpsc::channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(TransportStats::default());
+
+        let reader = {
+            let shutdown = shutdown.clone();
+            let stats = stats.clone();
+            thread::spawn(move || {
+                let (stream, _) = listener.accept().expect("accept");
+                reader_loop(stream, 4, event_tx, shutdown, stats);
+            })
+        };
+
+        let mut peer = TcpStream::connect(addr).expect("connect");
+        peer.write_all(&[0, 0]).expect("half a length prefix");
+        drop(peer);
+
+        reader.join().expect("reader thread exits cleanly");
+        assert_eq!(stats.torn_frames(), 1);
+    }
+
+    /// A peer announcing a frame beyond the size cap is counted as
+    /// malformed and disconnected — not silently dropped, not trusted
+    /// with the allocation.
+    #[test]
+    fn oversized_peer_frame_is_counted() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (event_tx, _event_rx) = mpsc::channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(TransportStats::default());
+
+        let reader = {
+            let shutdown = shutdown.clone();
+            let stats = stats.clone();
+            thread::spawn(move || {
+                let (stream, _) = listener.accept().expect("accept");
+                reader_loop(stream, 4, event_tx, shutdown, stats);
+            })
+        };
+
+        let mut peer = TcpStream::connect(addr).expect("connect");
+        peer.write_all(&u32::MAX.to_be_bytes())
+            .expect("absurd length prefix");
+
+        reader.join().expect("reader thread exits cleanly");
+        assert_eq!(stats.malformed_frames(), 1);
+        assert_eq!(stats.torn_frames(), 0);
+    }
+
+    #[test]
+    fn parse_peer_frame_never_panics_on_garbage() {
+        assert_eq!(parse_peer_frame(&[], 4), Err(FrameReject::Short));
+        assert_eq!(parse_peer_frame(&[1, 2, 3], 4), Err(FrameReject::Short));
+        assert_eq!(
+            parse_peer_frame(&[0, 0, 0, 9, 1, 2, 3], 4),
+            Err(FrameReject::Malformed),
+            "sender id beyond cluster size is rejected"
+        );
+        assert_eq!(
+            parse_peer_frame(&[0, 0, 0, 0], 4),
+            Err(FrameReject::Malformed),
+            "empty message body is rejected"
+        );
     }
 }

@@ -21,8 +21,9 @@
 //! ```no_run
 //! use probft_runtime::ClusterBuilder;
 //!
-//! // Run a 5-replica ProBFT cluster over localhost TCP.
-//! let decisions = ClusterBuilder::new(5).base_port(46100).run().unwrap();
+//! // Run a 5-replica ProBFT cluster over localhost TCP. Each replica
+//! // binds an OS-assigned loopback port, so runs never collide.
+//! let decisions = ClusterBuilder::new(5).run().unwrap();
 //! assert_eq!(decisions.len(), 5);
 //! ```
 
@@ -32,5 +33,5 @@
 pub mod cluster;
 pub mod transport;
 
-pub use cluster::{ClusterBuilder, ClusterError};
+pub use cluster::{ClusterBuilder, ClusterError, TransportStats};
 pub use transport::{read_frame, write_frame, FrameError};

@@ -91,6 +91,97 @@ impl fmt::Display for Command {
     }
 }
 
+/// Wire tag distinguishing a [`Batch`] from a bare [`Command`] (whose tags
+/// are 1–3), so old single-command values still decode.
+const BATCH_TAG: u8 = 4;
+
+/// Most commands a single batch may carry on the wire (anti-allocation
+/// bound; proposers batch far below this).
+pub const MAX_BATCH: u32 = 65_536;
+
+/// An ordered group of commands decided by one ProBFT instance.
+///
+/// Batching is the first throughput lever of the SMR engine: one consensus
+/// round amortises over every command in the batch, so the per-command
+/// message cost drops by the batch size.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Batch(pub Vec<Command>);
+
+impl Batch {
+    /// Encodes the batch into a consensus [`Value`].
+    pub fn to_value(&self) -> Value {
+        Value::new(self.to_wire_bytes())
+    }
+
+    /// Decodes a batch from a decided [`Value`].
+    ///
+    /// A bare single-command payload (the pre-batching wire format) is
+    /// accepted and wrapped as a one-command batch, so mixed-version runs
+    /// and old recorded values keep working.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is neither a batch nor a
+    /// single command.
+    pub fn from_value(value: &Value) -> Result<Self, WireError> {
+        match Batch::from_wire_bytes(value.as_bytes()) {
+            Ok(batch) => Ok(batch),
+            Err(_) => Command::from_wire_bytes(value.as_bytes()).map(|cmd| Batch(vec![cmd])),
+        }
+    }
+
+    /// The commands in order.
+    pub fn commands(&self) -> &[Command] {
+        &self.0
+    }
+
+    /// Number of commands in the batch.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the batch carries no commands.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Wire for Batch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(BATCH_TAG);
+        put::u32(out, self.0.len() as u32);
+        for cmd in &self.0 {
+            cmd.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            BATCH_TAG => {
+                let count = r.u32()?;
+                if count > MAX_BATCH {
+                    return Err(WireError::LengthOverflow(u64::from(count)));
+                }
+                let mut cmds = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    cmds.push(Command::decode(r)?);
+                }
+                Ok(Batch(cmds))
+            }
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+impl fmt::Display for Batch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} cmds:", self.0.len())?;
+        for cmd in &self.0 {
+            write!(f, " {cmd};")?;
+        }
+        f.write_str("]")
+    }
+}
+
 /// A deterministic key-value state machine fed by decided commands.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KvStore {
@@ -203,6 +294,50 @@ mod tests {
             b.apply(c);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_value_round_trip() {
+        for cmds in [
+            vec![],
+            vec![Command::Noop],
+            vec![
+                Command::Put {
+                    key: "k".into(),
+                    value: "v".into(),
+                },
+                Command::Delete { key: "k".into() },
+                Command::Noop,
+            ],
+        ] {
+            let batch = Batch(cmds);
+            assert_eq!(Batch::from_value(&batch.to_value()).unwrap(), batch);
+        }
+    }
+
+    #[test]
+    fn bare_command_decodes_as_single_batch() {
+        let cmd = Command::Put {
+            key: "k".into(),
+            value: "v".into(),
+        };
+        let batch = Batch::from_value(&cmd.to_value()).unwrap();
+        assert_eq!(batch.commands(), &[cmd]);
+    }
+
+    #[test]
+    fn malformed_batch_rejected() {
+        assert!(Batch::from_value(&Value::new(b"junk".to_vec())).is_err());
+        assert!(Batch::from_value(&Value::new(vec![])).is_err());
+        // Batch tag with an absurd count must fail before allocating.
+        let mut huge = vec![4u8];
+        put::u32(&mut huge, u32::MAX);
+        assert!(Batch::from_value(&Value::new(huge)).is_err());
+        // Truncated command list inside a well-tagged batch.
+        let mut torn = Vec::new();
+        Batch(vec![Command::Noop, Command::Noop]).encode(&mut torn);
+        torn.truncate(torn.len() - 1);
+        assert!(Batch::from_wire_bytes(&torn).is_err());
     }
 
     #[test]

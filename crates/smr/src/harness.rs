@@ -1,12 +1,12 @@
 //! Harness for replicated-state-machine experiments.
 
 use crate::command::Command;
-use crate::node::SmrNode;
+use crate::node::{SmrNode, SmrSettings};
 use probft_core::config::{ProbftConfig, SharedConfig};
 use probft_crypto::keyring::Keyring;
 use probft_quorum::ReplicaId;
 use probft_simnet::delay::PartialSynchrony;
-use probft_simnet::metrics::MessageMetrics;
+use probft_simnet::metrics::{MessageMetrics, ThroughputStats};
 use probft_simnet::process::ProcessId;
 use probft_simnet::sim::{RunOutcome, Simulation};
 use probft_simnet::time::{SimDuration, SimTime};
@@ -19,19 +19,24 @@ pub struct SmrBuilder {
     n: usize,
     seed: u64,
     workloads: BTreeMap<ReplicaId, Vec<Command>>,
-    target_len: usize,
+    settings: SmrSettings,
     max_events: u64,
 }
 
 impl SmrBuilder {
     /// Starts building an `n`-replica cluster that stops after
-    /// `target_len` commands are applied everywhere.
+    /// `target_len` commands are applied everywhere. Defaults to a
+    /// pipeline depth of 4 and one command per batch.
     pub fn new(n: usize, target_len: usize) -> Self {
         SmrBuilder {
             n,
             seed: 0,
             workloads: BTreeMap::new(),
-            target_len,
+            settings: SmrSettings {
+                target_len,
+                pipeline_depth: 4,
+                batch_size: 1,
+            },
             max_events: 50_000_000,
         }
     }
@@ -39,6 +44,18 @@ impl SmrBuilder {
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets how many slots run consensus concurrently (1 = sequential).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.settings.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Sets how many pending commands a proposer packs per slot.
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.settings.batch_size = batch.max(1);
         self
     }
 
@@ -70,7 +87,7 @@ impl SmrBuilder {
                 keyring.signing_key(i).expect("in range").clone(),
                 public.clone(),
                 workload,
-                self.target_len,
+                self.settings,
             ));
         }
 
@@ -86,10 +103,21 @@ impl SmrBuilder {
             .map(|i| sim.process(ProcessId(i)).state().clone())
             .collect();
 
+        // Throughput is measured at replica 0: all correct replicas apply
+        // the same slots, so its view is representative of the run.
+        let node0 = sim.process(ProcessId(0));
+        let throughput = ThroughputStats {
+            commands: node0.log().len() as u64,
+            slots_opened: node0.slots_opened(),
+            slots_applied: node0.slots_applied(),
+            ticks: sim.now().ticks(),
+        };
+
         SmrOutcome {
             logs,
             states,
             metrics: sim.metrics().clone(),
+            throughput,
             finished_at: sim.now(),
             run_outcome,
         }
@@ -105,6 +133,8 @@ pub struct SmrOutcome {
     pub states: Vec<crate::command::KvStore>,
     /// Message metrics.
     pub metrics: MessageMetrics,
+    /// Commands/slots/ticks throughput accounting (measured at replica 0).
+    pub throughput: ThroughputStats,
     /// Virtual completion time.
     pub finished_at: SimTime,
     /// Loop exit reason.

@@ -4,12 +4,15 @@
 //! names as future work (§7: "leveraging ProBFT for constructing a scalable
 //! state machine replication protocol").
 //!
-//! One ProBFT instance per log slot, opened sequentially; decided values
-//! carry [`Command`]s applied to a deterministic [`KvStore`]. The
-//! composition drives the *unmodified* single-shot replica through the
-//! simulator's embedding API, so consensus-level guarantees carry over:
-//! with probability `1 − exp(−Θ(√n))` per slot, all replicas append the
-//! same command.
+//! One ProBFT instance per log slot, run as a *pipelined, batched*
+//! throughput engine: each decided value carries a [`Batch`] of
+//! [`Command`]s, and up to `pipeline_depth` slots run consensus
+//! concurrently with out-of-order decisions buffered and applied in slot
+//! order to a deterministic [`KvStore`]. The composition drives the
+//! *unmodified* single-shot replica through the simulator's embedding API,
+//! so consensus-level guarantees carry over: with probability
+//! `1 − exp(−Θ(√n))` per slot, all replicas append the same batch — and a
+//! pipelined run produces the identical log and state as a sequential one.
 //!
 //! # Examples
 //!
@@ -18,6 +21,8 @@
 //! use probft_smr::{Command, SmrBuilder};
 //!
 //! let outcome = SmrBuilder::new(7, 2)
+//!     .pipeline_depth(2)
+//!     .batch_size(2)
 //!     .workload(ReplicaId(0), vec![
 //!         Command::Put { key: "x".into(), value: "1".into() },
 //!         Command::Put { key: "y".into(), value: "2".into() },
@@ -26,6 +31,7 @@
 //! assert!(outcome.logs_consistent());
 //! assert!(outcome.states_consistent());
 //! assert_eq!(outcome.logs[0].len(), 2);
+//! assert!(outcome.throughput.commands_per_megatick() > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,6 +41,6 @@ pub mod command;
 pub mod harness;
 pub mod node;
 
-pub use command::{Command, KvStore};
+pub use command::{Batch, Command, KvStore};
 pub use harness::{SmrBuilder, SmrOutcome};
-pub use node::{SlotMessage, SmrNode};
+pub use node::{SlotMessage, SmrNode, SmrSettings};

@@ -1,19 +1,26 @@
-//! State-machine replication by chaining ProBFT instances.
+//! State-machine replication by pipelining batched ProBFT instances.
 //!
 //! The paper's future work (§7) proposes "leveraging ProBFT for
 //! constructing a scalable state machine replication protocol". This module
-//! is that construction in its simplest sound form: one ProBFT consensus
-//! instance per log slot, slot `k+1` starting once slot `k` decides.
+//! is that construction grown into a throughput engine: one ProBFT
+//! consensus instance per log slot, where
+//!
+//! * **batching** — each decided [`Value`] carries a [`Batch`] of
+//!   [`Command`]s, so one consensus round amortises over many commands, and
+//! * **pipelining** — up to [`SmrSettings::pipeline_depth`] slots run
+//!   concurrently. Decisions may arrive out of slot order; they are
+//!   buffered and applied to the [`KvStore`] strictly in order, so the
+//!   replicated state is identical to a sequential (`depth = 1`) run.
+//!
 //! Each [`SmrNode`] hosts the per-slot [`Replica`] state machines and
 //! multiplexes their traffic over one simulated (or real) network by
-//! wrapping every message in a [`SlotMessage`].
-//!
-//! The composition reuses the unmodified single-shot replica via the
-//! simulator's embedding API ([`Context::detached`] +
-//! [`Context::drain_actions`]): the SMR layer is *pure orchestration*, so
-//! any fix to the consensus core is inherited here.
+//! wrapping every message in a [`SlotMessage`]. The composition reuses the
+//! unmodified single-shot replica via the simulator's embedding API
+//! ([`Context::detached`] + [`Context::drain_actions`]): the SMR layer is
+//! *pure orchestration*, so any fix to the consensus core is inherited
+//! here.
 
-use crate::command::{Command, KvStore};
+use crate::command::{Batch, Command, KvStore};
 use probft_core::config::SharedConfig;
 use probft_core::message::Message;
 use probft_core::replica::Replica;
@@ -29,9 +36,6 @@ use rand::SeedableRng;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
-
-/// Bits of a timer token reserved for the inner (per-slot) token.
-const SLOT_TOKEN_SHIFT: u32 = 24;
 
 /// A consensus message tagged with its log slot.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,24 +55,61 @@ impl Measurable for SlotMessage {
     }
 }
 
+/// Replication parameters shared by every node of a cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SmrSettings {
+    /// Stop opening new slots once this many commands are applied.
+    pub target_len: usize,
+    /// How many slots may run consensus concurrently (≥ 1; 1 reproduces
+    /// the strictly sequential chain).
+    pub pipeline_depth: usize,
+    /// Most commands a proposer packs into one slot's batch (≥ 1).
+    pub batch_size: usize,
+}
+
+impl SmrSettings {
+    /// Sequential, one-command-per-slot replication of `target_len`
+    /// commands — the baseline configuration.
+    pub fn sequential(target_len: usize) -> Self {
+        SmrSettings {
+            target_len,
+            pipeline_depth: 1,
+            batch_size: 1,
+        }
+    }
+
+    fn normalized(mut self) -> Self {
+        self.pipeline_depth = self.pipeline_depth.max(1);
+        self.batch_size = self.batch_size.max(1);
+        self
+    }
+}
+
 /// A replica of the replicated state machine.
 pub struct SmrNode {
     cfg: SharedConfig,
     id: ReplicaId,
     sk: SigningKey,
     keys: Arc<PublicKeyring>,
-    /// Client commands this node wants ordered, proposed one per slot when
-    /// this node leads.
+    /// Client commands this node wants ordered, proposed in batches when
+    /// this node leads a slot.
     pending: VecDeque<Command>,
-    /// Stop opening new slots once this many commands are applied.
-    target_len: usize,
+    settings: SmrSettings,
 
     /// Active (and completed) per-slot consensus instances.
     slots: BTreeMap<u64, Replica>,
-    /// Messages for slots that have not started yet.
+    /// Messages for slots that have not started here yet.
     future: BTreeMap<u64, Vec<Message>>,
-    /// The next slot to open when the current one decides.
-    current_slot: u64,
+    /// The lowest slot whose decision has not been applied yet.
+    next_apply: u64,
+    /// The next slot index to open (slots `next_apply..next_open` are in
+    /// flight).
+    next_open: u64,
+    /// Outer timer token → (slot, inner token). Tokens are allocated from
+    /// a counter, so concurrent slots can never collide regardless of how
+    /// large the inner (view-carrying) tokens grow.
+    timers: BTreeMap<u64, (u64, TimerToken)>,
+    next_timer: u64,
     /// Decided commands in slot order.
     log: Vec<Command>,
     /// The application state machine.
@@ -77,15 +118,15 @@ pub struct SmrNode {
 }
 
 impl SmrNode {
-    /// Creates an SMR node that wants `workload` ordered and stops opening
-    /// slots after `target_len` total commands are applied.
+    /// Creates an SMR node that wants `workload` ordered under the given
+    /// replication settings.
     pub fn new(
         cfg: SharedConfig,
         id: ReplicaId,
         sk: SigningKey,
         keys: Arc<PublicKeyring>,
         workload: Vec<Command>,
-        target_len: usize,
+        settings: SmrSettings,
     ) -> Self {
         let seed = 0xD15C_0000 ^ id.0 as u64;
         SmrNode {
@@ -94,10 +135,13 @@ impl SmrNode {
             sk,
             keys,
             pending: workload.into(),
-            target_len,
+            settings: settings.normalized(),
             slots: BTreeMap::new(),
             future: BTreeMap::new(),
-            current_slot: 0,
+            next_apply: 0,
+            next_open: 0,
+            timers: BTreeMap::new(),
+            next_timer: 0,
             log: Vec::new(),
             state: KvStore::new(),
             rng: StdRng::seed_from_u64(seed),
@@ -116,13 +160,50 @@ impl SmrNode {
 
     /// Whether the node has applied its target number of commands.
     pub fn done(&self) -> bool {
-        self.log.len() >= self.target_len
+        self.log.len() >= self.settings.target_len
     }
 
-    /// The value this node proposes for the next slot: its next pending
-    /// command, or a no-op.
+    /// Slots this node has opened (including in-flight ones).
+    pub fn slots_opened(&self) -> u64 {
+        self.next_open
+    }
+
+    /// Slots decided *and applied* in order.
+    pub fn slots_applied(&self) -> u64 {
+        self.next_apply
+    }
+
+    /// The replication settings this node runs under.
+    pub fn settings(&self) -> SmrSettings {
+        self.settings
+    }
+
+    /// The value this node proposes for the next slot: a batch of up to
+    /// `batch_size` pending commands, or a lone no-op to keep the slot
+    /// progressing.
+    ///
+    /// Batches are drained in slot-open order, which is ascending slot
+    /// order at every pipeline depth — that invariant is what makes a
+    /// pipelined run decide the same value per slot as a sequential one.
     fn next_value(&mut self) -> Value {
-        self.pending.pop_front().unwrap_or(Command::Noop).to_value()
+        let take = self.settings.batch_size.min(self.pending.len());
+        let cmds: Vec<Command> = if take == 0 {
+            vec![Command::Noop]
+        } else {
+            self.pending.drain(..take).collect()
+        };
+        Batch(cmds).to_value()
+    }
+
+    /// Opens every slot the pipeline window allows.
+    fn open_ready_slots(&mut self, ctx: &mut Context<'_, SlotMessage>) {
+        while self.log.len() < self.settings.target_len
+            && self.next_open < self.next_apply + self.settings.pipeline_depth as u64
+        {
+            let slot = self.next_open;
+            self.next_open += 1;
+            self.open_slot(slot, ctx);
+        }
     }
 
     /// Opens slot `slot` and runs its `on_start`.
@@ -162,11 +243,10 @@ impl SmrNode {
             match action {
                 Action::Send { to, msg } => ctx.send(to, SlotMessage { slot, inner: msg }),
                 Action::SetTimer { delay, token } => {
-                    debug_assert!(
-                        token.0 < (1 << SLOT_TOKEN_SHIFT),
-                        "view too large for token packing"
-                    );
-                    ctx.set_timer(delay, TimerToken((slot << SLOT_TOKEN_SHIFT) | token.0));
+                    let outer = self.next_timer;
+                    self.next_timer += 1;
+                    self.timers.insert(outer, (slot, token));
+                    ctx.set_timer(delay, TimerToken(outer));
                 }
                 Action::Halt => {}
             }
@@ -200,25 +280,28 @@ impl SmrNode {
         let newly_decided = !already_decided && replica.decision().is_some();
         self.relay(slot, actions, ctx);
 
-        if newly_decided && slot == self.current_slot {
+        // Out-of-order decisions (slot > next_apply) stay buffered in their
+        // replica until the gap closes; only the in-order frontier advances
+        // the applied log.
+        if newly_decided && slot == self.next_apply {
             self.advance(ctx);
         }
     }
 
-    /// Applies decided slots in order and opens the next one.
+    /// Applies decided slots in order and refills the pipeline window.
     fn advance(&mut self, ctx: &mut Context<'_, SlotMessage>) {
-        while let Some(replica) = self.slots.get(&self.current_slot) {
-            let Some(decision) = replica.decision() else {
+        while self.log.len() < self.settings.target_len {
+            let Some(decision) = self.slots.get(&self.next_apply).and_then(|r| r.decision()) else {
                 break;
             };
-            let cmd = Command::from_value(&decision.value).unwrap_or(Command::Noop);
-            self.state.apply(&cmd);
-            self.log.push(cmd);
-            self.current_slot += 1;
-            if self.log.len() >= self.target_len {
-                return; // target reached; stop opening slots
+            let batch =
+                Batch::from_value(&decision.value).unwrap_or_else(|_| Batch(vec![Command::Noop]));
+            for cmd in batch.0 {
+                self.state.apply(&cmd);
+                self.log.push(cmd);
             }
-            self.open_slot(self.current_slot, ctx);
+            self.next_apply += 1;
+            self.open_ready_slots(ctx);
         }
     }
 }
@@ -232,7 +315,7 @@ impl Process for SmrNode {
     type Message = SlotMessage;
 
     fn on_start(&mut self, ctx: &mut Context<'_, SlotMessage>) {
-        self.open_slot(0, ctx);
+        self.open_ready_slots(ctx);
     }
 
     fn on_message(
@@ -244,16 +327,18 @@ impl Process for SmrNode {
         let slot = msg.slot;
         if self.slots.contains_key(&slot) {
             self.dispatch(slot, Some(from), DispatchEvent::Message(msg.inner), ctx);
-        } else if slot > self.current_slot {
-            // Not started here yet: buffer until `advance` opens it.
+        } else if slot >= self.next_open {
+            // Not started here yet: buffer until the window reaches it.
             self.future.entry(slot).or_default().push(msg.inner);
         }
     }
 
     fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, SlotMessage>) {
-        let slot = token.0 >> SLOT_TOKEN_SHIFT;
-        let inner = TimerToken(token.0 & ((1 << SLOT_TOKEN_SHIFT) - 1));
-        self.dispatch(slot, None, DispatchEvent::Timer(inner), ctx);
+        // Timers fire once; forgetting the mapping afterwards keeps the
+        // table bounded by the number of outstanding timers.
+        if let Some((slot, inner)) = self.timers.remove(&token.0) {
+            self.dispatch(slot, None, DispatchEvent::Timer(inner), ctx);
+        }
     }
 }
 
@@ -261,7 +346,8 @@ impl fmt::Debug for SmrNode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SmrNode")
             .field("id", &self.id)
-            .field("current_slot", &self.current_slot)
+            .field("next_apply", &self.next_apply)
+            .field("next_open", &self.next_open)
             .field("log_len", &self.log.len())
             .finish()
     }

@@ -4,21 +4,19 @@
 //! cargo run --example live_cluster
 //! ```
 //!
-//! Boots seven replica threads listening on 127.0.0.1:46200–46206, lets
-//! them run the full protocol (signatures, VRF samples, view timers) over
-//! loopback TCP, and prints each replica's decision and wall-clock
-//! decision latency.
+//! Boots seven replica threads on OS-assigned loopback ports (so repeated
+//! or parallel runs never collide), lets them run the full protocol
+//! (signatures, VRF samples, view timers) over loopback TCP, and prints
+//! each replica's decision and wall-clock decision latency.
 
 use probft::runtime::ClusterBuilder;
 use std::time::Duration;
 
 fn main() {
     let n = 7;
-    let base_port = 46_200;
-    println!("Booting a live {n}-replica ProBFT cluster on 127.0.0.1:{base_port}+\n");
+    println!("Booting a live {n}-replica ProBFT cluster on OS-assigned loopback ports\n");
 
     let decisions = ClusterBuilder::new(n)
-        .base_port(base_port)
         .seed(5)
         .deadline(Duration::from_secs(30))
         .run()

@@ -71,18 +71,92 @@ fn smr_is_deterministic() {
 }
 
 /// The live TCP cluster reaches agreement with real sockets and clocks.
-/// (Uses its own port range to avoid colliding with unit tests.)
+/// (OS-assigned ports: safe under parallel test runs.)
 #[test]
 fn tcp_cluster_reaches_agreement() {
     use probft::runtime::ClusterBuilder;
     use std::time::Duration;
 
     let decisions = ClusterBuilder::new(5)
-        .base_port(48_500)
         .seed(2)
         .deadline(Duration::from_secs(60))
         .run()
         .expect("live cluster decides");
     let first = decisions[0].value.digest();
     assert!(decisions.iter().all(|d| d.value.digest() == first));
+}
+
+/// A put-heavy workload for throughput experiments.
+fn put_workload(count: usize) -> Vec<Command> {
+    (0..count)
+        .map(|i| Command::Put {
+            key: format!("key{i}"),
+            value: format!("val{i}"),
+        })
+        .collect()
+}
+
+/// Acceptance: with pipeline depth 4 and batch size 8, a 64-command
+/// workload is ordered in measurably fewer simulated ticks than the
+/// strictly sequential (depth 1, batch 1) baseline.
+#[test]
+fn pipelined_batched_run_beats_sequential_baseline() {
+    let workload = put_workload(64);
+
+    let sequential = SmrBuilder::new(4, 64)
+        .seed(7)
+        .pipeline_depth(1)
+        .batch_size(1)
+        .workload(ReplicaId(0), workload.clone())
+        .run();
+    let pipelined = SmrBuilder::new(4, 64)
+        .seed(7)
+        .pipeline_depth(4)
+        .batch_size(8)
+        .workload(ReplicaId(0), workload)
+        .run();
+
+    for outcome in [&sequential, &pipelined] {
+        assert!(outcome.logs_consistent(), "{:?}", outcome.run_outcome);
+        assert!(outcome.states_consistent());
+        assert_eq!(outcome.logs[0].len(), 64);
+    }
+    // Same commands, same final state, very different shape of the run.
+    assert_eq!(sequential.states[0], pipelined.states[0]);
+    assert_eq!(sequential.throughput.slots_applied, 64);
+    assert_eq!(pipelined.throughput.slots_applied, 8);
+    assert!((pipelined.throughput.mean_batch_size() - 8.0).abs() < 1e-9);
+
+    let seq_ticks = sequential.finished_at.ticks();
+    let pipe_ticks = pipelined.finished_at.ticks();
+    assert!(
+        pipe_ticks * 4 <= seq_ticks,
+        "depth 4 × batch 8 should cut ticks at least 4×: sequential {seq_ticks}, \
+         pipelined {pipe_ticks}"
+    );
+    assert!(
+        pipelined.throughput.commands_per_megatick()
+            > sequential.throughput.commands_per_megatick()
+    );
+}
+
+/// Equivalence: a pipelined run (depth > 1) must produce a log and final
+/// state identical to the sequential depth-1 run of the same workload,
+/// seed, and batch size.
+#[test]
+fn pipelined_run_matches_sequential_log_and_state() {
+    let workload = put_workload(24);
+    let run = |depth: usize| {
+        SmrBuilder::new(4, 24)
+            .seed(13)
+            .pipeline_depth(depth)
+            .batch_size(4)
+            .workload(ReplicaId(0), workload.clone())
+            .run()
+    };
+    let sequential = run(1);
+    let pipelined = run(4);
+    assert!(sequential.logs_consistent() && pipelined.logs_consistent());
+    assert_eq!(sequential.logs, pipelined.logs);
+    assert_eq!(sequential.states, pipelined.states);
 }

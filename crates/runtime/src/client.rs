@@ -1,0 +1,291 @@
+//! The client front-end of the live SMR cluster.
+//!
+//! [`SmrClient`] submits commands over TCP with unique request ids and
+//! returns only once the command has been applied by the cluster. It
+//! routes to the replica it believes leads, follows [`SmrReply::Redirect`]
+//! answers, and retries — on a reply timeout, a torn connection, or a
+//! view change — by *resending the same request id*, so the cluster's
+//! replicated dedup keeps execution at-most-once no matter how many times
+//! a submission is retried or rerouted.
+
+use crate::live::{SmrFrame, SmrReply};
+use crate::transport::{read_frame, write_frame, FrameError};
+use probft_core::wire::Wire;
+use probft_smr::{Command, RequestId};
+use std::error::Error;
+use std::fmt;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Errors from submitting through an [`SmrClient`].
+#[derive(Debug)]
+pub enum ClientError {
+    /// The client was built with an empty replica address list.
+    NoReplicas,
+    /// The overall submission deadline passed without an applied reply.
+    Exhausted {
+        /// The request that could not be confirmed.
+        request: RequestId,
+        /// How many submission attempts were made.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::NoReplicas => f.write_str("no replica addresses configured"),
+            ClientError::Exhausted { request, attempts } => write!(
+                f,
+                "request {request} not confirmed applied after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl Error for ClientError {}
+
+/// A client of a live SMR cluster.
+///
+/// Sequential by design: [`submit`](Self::submit) blocks until the
+/// command is applied, and sequence numbers increase one per command —
+/// the contract the cluster's per-client dedup watermark relies on. Run
+/// several clients (distinct `client_id`s) for concurrent load.
+#[derive(Debug)]
+pub struct SmrClient {
+    addrs: Vec<SocketAddr>,
+    client_id: u64,
+    next_seq: u64,
+    /// Which replica to try first (updated by redirects and failures).
+    hint: usize,
+    conn: Option<TcpStream>,
+    /// Replica the current connection points at.
+    conn_to: usize,
+    /// How long one attempt waits for a reply before resending.
+    attempt_timeout: Duration,
+    /// Overall per-submission budget across all retries.
+    overall_timeout: Duration,
+    last: Option<(RequestId, Command)>,
+    retries: u64,
+    redirects: u64,
+}
+
+impl SmrClient {
+    /// Creates a client for the cluster at `addrs` (indexed by replica
+    /// id). `client_id` must be unique among concurrent clients.
+    pub fn new(addrs: Vec<SocketAddr>, client_id: u64) -> Self {
+        SmrClient {
+            addrs,
+            client_id,
+            next_seq: 1,
+            hint: 0,
+            conn: None,
+            conn_to: usize::MAX,
+            attempt_timeout: Duration::from_millis(1000),
+            overall_timeout: Duration::from_secs(30),
+            last: None,
+            retries: 0,
+            redirects: 0,
+        }
+    }
+
+    /// Overrides the per-attempt reply timeout and the overall
+    /// per-submission budget.
+    pub fn timeouts(mut self, attempt: Duration, overall: Duration) -> Self {
+        self.attempt_timeout = attempt;
+        self.overall_timeout = overall;
+        self
+    }
+
+    /// Starts submissions at replica `hint` instead of replica 0 — e.g.
+    /// to exercise the redirect path deliberately.
+    pub fn leader_hint(mut self, hint: usize) -> Self {
+        self.hint = hint;
+        self
+    }
+
+    /// Submission attempts beyond the first, across all commands (reply
+    /// timeouts, reconnects — every resend of an already-sent request id).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Redirect replies followed, across all commands.
+    pub fn redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    /// Submits `cmd` and blocks until the cluster confirms it applied.
+    /// Returns the request id it was applied under.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] if the overall deadline passes first.
+    pub fn submit(&mut self, cmd: Command) -> Result<RequestId, ClientError> {
+        let request = RequestId {
+            client: self.client_id,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.last = Some((request, cmd.clone()));
+        self.send_until_applied(request, &cmd)
+    }
+
+    /// Re-submits the most recent command under its *original* request id
+    /// — an explicit client-side retry. The cluster recognises the id and
+    /// answers without applying the command a second time.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] if the overall deadline passes;
+    /// [`ClientError::NoReplicas`] if nothing was submitted yet.
+    pub fn retry_last(&mut self) -> Result<RequestId, ClientError> {
+        let Some((request, cmd)) = self.last.clone() else {
+            return Err(ClientError::NoReplicas);
+        };
+        self.retries += 1;
+        self.send_until_applied(request, &cmd)
+    }
+
+    /// Convenience: submit a `PUT key=value`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](Self::submit).
+    pub fn put(&mut self, key: &str, value: &str) -> Result<RequestId, ClientError> {
+        self.submit(Command::Put {
+            key: key.into(),
+            value: value.into(),
+        })
+    }
+
+    /// Convenience: submit a `DEL key`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](Self::submit).
+    pub fn delete(&mut self, key: &str) -> Result<RequestId, ClientError> {
+        self.submit(Command::Delete { key: key.into() })
+    }
+
+    fn send_until_applied(
+        &mut self,
+        request: RequestId,
+        cmd: &Command,
+    ) -> Result<RequestId, ClientError> {
+        if self.addrs.is_empty() {
+            return Err(ClientError::NoReplicas);
+        }
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        loop {
+            if attempts > 0 {
+                if started.elapsed() >= self.overall_timeout {
+                    return Err(ClientError::Exhausted { request, attempts });
+                }
+                self.retries += 1;
+            }
+            attempts += 1;
+
+            let target = self.hint % self.addrs.len();
+            let frame = SmrFrame::Request {
+                request,
+                cmd: cmd.clone(),
+            }
+            .to_wire_bytes();
+            let sent = match self.connection(target) {
+                Some(stream) => write_frame(stream, &frame).is_ok(),
+                None => false,
+            };
+            if !sent {
+                // Unreachable or broken link: try the next replica after a
+                // short pause (avoids a hot spin while a cluster boots).
+                self.drop_conn();
+                self.hint = (target + 1) % self.addrs.len();
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+
+            match self.await_reply(request) {
+                Some(SmrReply::Applied { .. }) => return Ok(request),
+                Some(SmrReply::Redirect { leader, .. }) => {
+                    self.redirects += 1;
+                    let leader = leader as usize % self.addrs.len();
+                    if leader != target {
+                        self.drop_conn();
+                        self.hint = leader;
+                    } else {
+                        // A replica never names itself; treat a nonsense
+                        // redirect like a failure and rotate.
+                        self.hint = (target + 1) % self.addrs.len();
+                    }
+                }
+                None => {
+                    // Reply timeout or torn connection: resend the same
+                    // request id (the retry path — dedup makes it safe).
+                    self.drop_conn();
+                }
+            }
+        }
+    }
+
+    /// Reads frames until the reply for `request` arrives or the attempt
+    /// times out. Stale replies (earlier retries, earlier sequence
+    /// numbers) are skipped.
+    fn await_reply(&mut self, request: RequestId) -> Option<SmrReply> {
+        let deadline = Instant::now() + self.attempt_timeout;
+        let stream = self.conn.as_mut()?;
+        loop {
+            if Instant::now() >= deadline {
+                return None;
+            }
+            match read_frame(stream) {
+                Ok(Some(bytes)) => match SmrFrame::from_wire_bytes(&bytes) {
+                    Ok(SmrFrame::Reply(reply)) if reply_matches(reply, request) => {
+                        return Some(reply)
+                    }
+                    Ok(_) | Err(_) => continue, // stale or foreign frame
+                },
+                Ok(None) => return None, // replica closed the connection
+                Err(FrameError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// The connection to `target`, (re)establishing it if needed.
+    fn connection(&mut self, target: usize) -> Option<&mut TcpStream> {
+        if self.conn_to != target {
+            self.drop_conn();
+        }
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(
+                &self.addrs[target],
+                self.attempt_timeout.max(Duration::from_millis(100)),
+            )
+            .ok()?;
+            let _ = stream.set_nodelay(true);
+            // Short read timeout so `await_reply` can poll its deadline.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+            self.conn = Some(stream);
+            self.conn_to = target;
+        }
+        self.conn.as_mut()
+    }
+
+    fn drop_conn(&mut self) {
+        self.conn = None;
+        self.conn_to = usize::MAX;
+    }
+}
+
+fn reply_matches(reply: SmrReply, request: RequestId) -> bool {
+    match reply {
+        SmrReply::Applied { request: r } | SmrReply::Redirect { request: r, .. } => r == request,
+    }
+}

@@ -43,6 +43,18 @@ pub struct TransportStats {
 }
 
 impl TransportStats {
+    pub(crate) fn note_short(&self) {
+        self.short_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_malformed(&self) {
+        self.malformed_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_torn(&self) {
+        self.torn_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Frames too short to carry the 4-byte sender prefix.
     pub fn short_frames(&self) -> u64 {
         self.short_frames.load(Ordering::Relaxed)
@@ -112,6 +124,35 @@ impl fmt::Display for ClusterError {
 }
 
 impl Error for ClusterError {}
+
+/// Binds one loopback listener per replica — OS-assigned ports by default,
+/// `base_port + i` when a fixed range was requested — and returns the
+/// listeners with their actual addresses.
+pub(crate) fn bind_listeners(
+    n: usize,
+    base_port: Option<u16>,
+) -> Result<(Vec<TcpListener>, Vec<SocketAddr>), ClusterError> {
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for i in 0..n {
+        let addr = match base_port {
+            Some(base) => {
+                let port = base.checked_add(i as u16).ok_or_else(|| {
+                    ClusterError::Bind(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "base_port + replica id overflows u16",
+                    ))
+                })?;
+                format!("127.0.0.1:{port}")
+            }
+            None => "127.0.0.1:0".to_string(),
+        };
+        let listener = TcpListener::bind(&addr).map_err(ClusterError::Bind)?;
+        addrs.push(listener.local_addr().map_err(ClusterError::Bind)?);
+        listeners.push(listener);
+    }
+    Ok((listeners, addrs))
+}
 
 /// Builds and runs a localhost TCP ProBFT cluster.
 ///
@@ -184,25 +225,7 @@ impl ClusterBuilder {
 
         // Bind all listeners up front (collecting the OS-assigned
         // addresses) so peers can connect immediately.
-        let mut listeners = Vec::with_capacity(self.n);
-        let mut addrs = Vec::with_capacity(self.n);
-        for i in 0..self.n {
-            let addr = match self.base_port {
-                Some(base) => {
-                    let port = base.checked_add(i as u16).ok_or_else(|| {
-                        ClusterError::Bind(std::io::Error::new(
-                            std::io::ErrorKind::InvalidInput,
-                            "base_port + replica id overflows u16",
-                        ))
-                    })?;
-                    format!("127.0.0.1:{port}")
-                }
-                None => "127.0.0.1:0".to_string(),
-            };
-            let listener = TcpListener::bind(&addr).map_err(ClusterError::Bind)?;
-            addrs.push(listener.local_addr().map_err(ClusterError::Bind)?);
-            listeners.push(listener);
-        }
+        let (listeners, addrs) = bind_listeners(self.n, self.base_port)?;
         let addrs = Arc::new(addrs);
 
         let mut handles = Vec::with_capacity(self.n);
@@ -257,16 +280,18 @@ impl ClusterBuilder {
             let _ = h.join();
         }
 
-        if decided < self.n {
-            return Err(ClusterError::Timeout { decided, n: self.n });
+        // A partially-decided run must surface as the typed timeout error,
+        // never as a panic: collect fallibly instead of `expect`ing, and
+        // count from the actual slots so a miscounted `decided` cannot
+        // reach an unwrap path.
+        let done: Vec<Decision> = decisions.into_iter().flatten().collect();
+        if done.len() < self.n {
+            return Err(ClusterError::Timeout {
+                decided: done.len(),
+                n: self.n,
+            });
         }
-        Ok((
-            decisions
-                .into_iter()
-                .map(|d| d.expect("all decided"))
-                .collect(),
-            stats,
-        ))
+        Ok((done, stats))
     }
 }
 
@@ -290,11 +315,16 @@ fn replica_main(
     let n = addrs.len();
     let (event_tx, event_rx) = mpsc::channel::<Event>();
 
-    // Accept loop: one reader thread per inbound connection.
-    {
+    // Accept loop: one reader thread per inbound connection. Handles are
+    // tracked so a finished (or timed-out) run can join every thread it
+    // spawned instead of leaking them.
+    let readers: Arc<std::sync::Mutex<Vec<thread::JoinHandle<()>>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let accept_handle = {
         let event_tx = event_tx.clone();
         let shutdown = shutdown.clone();
         let stats = stats.clone();
+        let readers = readers.clone();
         if listener.set_nonblocking(true).is_err() {
             return; // cannot accept peers; the deadline will report this
         }
@@ -305,7 +335,13 @@ fn replica_main(
                         let event_tx = event_tx.clone();
                         let shutdown = shutdown.clone();
                         let stats = stats.clone();
-                        thread::spawn(move || reader_loop(stream, n, event_tx, shutdown, stats));
+                        let handle = thread::spawn(move || {
+                            reader_loop(stream, n, event_tx, shutdown, stats)
+                        });
+                        if let Ok(mut guard) = readers.lock() {
+                            reap_finished(&mut guard);
+                            guard.push(handle);
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(5));
@@ -313,8 +349,8 @@ fn replica_main(
                     Err(_) => break,
                 }
             }
-        });
-    }
+        })
+    };
 
     let mut replica = Replica::new(
         cfg,
@@ -382,6 +418,18 @@ fn replica_main(
             }
         }
     }
+
+    // Shutdown was requested: wait for the accept loop and every reader it
+    // spawned, so the cluster run (including a timed-out one) leaves no
+    // threads behind once `run` returns.
+    let _ = accept_handle.join();
+    let handles = match readers.lock() {
+        Ok(mut guard) => guard.drain(..).collect::<Vec<_>>(),
+        Err(_) => Vec::new(),
+    };
+    for handle in handles {
+        let _ = handle.join();
+    }
 }
 
 fn reader_loop(
@@ -403,12 +451,8 @@ fn reader_loop(
                 }
                 // Rejected input is dropped, counted, and the connection
                 // kept — a malformed peer must not silence a link.
-                Err(FrameReject::Short) => {
-                    stats.short_frames.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(FrameReject::Malformed) => {
-                    stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
-                }
+                Err(FrameReject::Short) => stats.note_short(),
+                Err(FrameReject::Malformed) => stats.note_malformed(),
             },
             Ok(None) => return, // peer closed at a frame boundary
             Err(FrameError::Io(e))
@@ -420,13 +464,13 @@ fn reader_loop(
             // A peer-announced length beyond the cap is malformed input,
             // not a connection fault.
             Err(FrameError::Oversized(_)) => {
-                stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                stats.note_malformed();
                 return;
             }
             // Everything else ended the connection mid-stream: EOF inside
             // a frame, a mid-frame stall, or a socket error (reset etc.).
             Err(FrameError::Io(_) | FrameError::Stalled { .. }) => {
-                stats.torn_frames.fetch_add(1, Ordering::Relaxed);
+                stats.note_torn();
                 return;
             }
         }
@@ -449,7 +493,8 @@ fn apply_actions(
                 }
                 let mut frame = (id as u32).to_be_bytes().to_vec();
                 msg.encode(&mut frame);
-                if let Some(stream) = connect_peer(peers, to.index(), addrs) {
+                if let Some(stream) = connect_peer(peers, to.index(), addrs, BOOT_CONNECT_ATTEMPTS)
+                {
                     if write_frame(stream, &frame).is_err() {
                         peers[to.index()] = None; // drop broken link; retry later
                     }
@@ -464,26 +509,56 @@ fn apply_actions(
     }
 }
 
+/// Joins and removes reader threads that already exited (disconnected
+/// peers/clients), so a long-lived accept loop does not accumulate dead
+/// handles without bound.
+pub(crate) fn reap_finished(handles: &mut Vec<thread::JoinHandle<()>>) {
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let _ = handles.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
 /// One simulator tick = one microsecond of wall time.
-fn tick_to_duration(d: SimDuration) -> Duration {
+pub(crate) fn tick_to_duration(d: SimDuration) -> Duration {
     Duration::from_micros(d.ticks())
 }
 
-fn connect_peer<'a>(
+/// Connect attempts while a cluster boots (peers come up concurrently;
+/// retry for up to ~500 ms). Once a cluster is running, callers should
+/// fail fast instead — see [`STEADY_CONNECT_ATTEMPTS`].
+pub(crate) const BOOT_CONNECT_ATTEMPTS: u32 = 50;
+
+/// Connect attempts against a peer that was reachable before: one quick
+/// try, so a dead replica costs the sender an immediate refusal instead of
+/// a 500 ms stall inside its event loop on every send.
+pub(crate) const STEADY_CONNECT_ATTEMPTS: u32 = 1;
+
+/// Bound on how long a blocking socket write may stall the caller. A peer
+/// (or client) that stops reading fills its kernel buffer; without this a
+/// single such connection wedges the sender's whole event loop.
+pub(crate) const WRITE_STALL_LIMIT: Duration = Duration::from_secs(1);
+
+pub(crate) fn connect_peer<'a>(
     peers: &'a mut [Option<TcpStream>],
     to: usize,
     addrs: &[SocketAddr],
+    attempts: u32,
 ) -> Option<&'a mut TcpStream> {
     if peers[to].is_none() {
-        // Peers boot concurrently: retry briefly before giving up.
-        for _ in 0..50 {
-            match TcpStream::connect(addrs[to]) {
-                Ok(s) => {
-                    let _ = s.set_nodelay(true);
-                    peers[to] = Some(s);
-                    break;
-                }
-                Err(_) => thread::sleep(Duration::from_millis(10)),
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                thread::sleep(Duration::from_millis(10));
+            }
+            if let Ok(s) = TcpStream::connect(addrs[to]) {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_write_timeout(Some(WRITE_STALL_LIMIT));
+                peers[to] = Some(s);
+                break;
             }
         }
     }

@@ -8,6 +8,12 @@
 //! [`Context::drain_actions`]) — the runtime only interprets the resulting
 //! actions against sockets and the wall clock.
 //!
+//! Two cluster shapes are provided: [`ClusterBuilder`] runs one single-shot
+//! consensus instance to decision, and [`LiveSmrBuilder`] runs full
+//! state-machine replication — pipelined, batched `SmrNode`s served by a
+//! real client front-end ([`SmrClient`]) with leader routing, redirects,
+//! retries, and at-most-once execution of retried request ids.
+//!
 //! `tokio` is not available in this offline build environment (see
 //! DESIGN.md, "Substitutions"); the thread-per-replica design over
 //! `std::net` provides equivalent message-passing semantics for
@@ -30,8 +36,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod cluster;
+pub mod live;
 pub mod transport;
 
+pub use client::{ClientError, SmrClient};
 pub use cluster::{ClusterBuilder, ClusterError, TransportStats};
+pub use live::{LiveSmrBuilder, LiveSmrCluster, ReplicaReport, SmrFrame, SmrReply};
 pub use transport::{read_frame, write_frame, FrameError};

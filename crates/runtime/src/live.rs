@@ -1,0 +1,759 @@
+//! Live TCP state-machine replication: [`SmrNode`] driven by real sockets.
+//!
+//! Each replica thread hosts the same pipelined, batched [`SmrNode`] that
+//! runs in the simulator, but its slot-tagged consensus traffic travels as
+//! [`SmrFrame::Peer`] frames over loopback TCP and its commands come from
+//! real clients instead of a prebuilt workload: an [`SmrFrame::Request`]
+//! carries a client command plus its [`RequestId`], the node feeds it into
+//! the pending queue (demand-driven slot opening, so batching operates on
+//! what actually arrived), and once the command reaches the applied log
+//! the replica answers with [`SmrFrame::Reply`]. Non-leaders redirect the
+//! client to the leader they currently observe; retried request ids are
+//! deduplicated inside the replicated state machine, so submissions stay
+//! at-most-once across redirects, reconnects, and view changes.
+
+use crate::cluster::{
+    bind_listeners, connect_peer, reap_finished, tick_to_duration, ClusterError, TransportStats,
+    BOOT_CONNECT_ATTEMPTS, STEADY_CONNECT_ATTEMPTS, WRITE_STALL_LIMIT,
+};
+use crate::transport::{read_frame, write_frame, FrameError};
+use probft_core::config::{ProbftConfig, SharedConfig};
+use probft_core::wire::{put, Reader, Wire, WireError};
+use probft_crypto::keyring::{Keyring, PublicKeyring};
+use probft_crypto::schnorr::SigningKey;
+use probft_quorum::ReplicaId;
+use probft_simnet::process::{Action, Context, Process, ProcessId, TimerToken};
+use probft_simnet::time::{SimDuration, SimTime};
+use probft_smr::{Command, KvStore, RequestId, SlotMessage, SmrNode, SmrSettings};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One frame of the live SMR wire protocol. Self-describing, so replicas
+/// and clients share a single listener port.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SmrFrame {
+    /// Replica-to-replica consensus traffic for one log slot.
+    Peer {
+        /// Sending replica id (the replica's own signatures are what is
+        /// actually trusted; this routes the message to per-slot state).
+        from: u32,
+        /// The slot-tagged consensus message.
+        msg: SlotMessage,
+    },
+    /// Client-to-replica command submission.
+    Request {
+        /// The client's unique id for this submission (retries reuse it).
+        request: RequestId,
+        /// The operation to order.
+        cmd: Command,
+    },
+    /// Replica-to-client outcome.
+    Reply(SmrReply),
+}
+
+/// A replica's answer to a client submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SmrReply {
+    /// The command reached the replicated log and was applied (or was
+    /// recognised as an already-applied retry). Sent only after apply.
+    Applied {
+        /// The request this reply answers.
+        request: RequestId,
+    },
+    /// This replica is not the leader; resubmit to `leader`.
+    Redirect {
+        /// The request this reply answers.
+        request: RequestId,
+        /// The replica currently believed to lead.
+        leader: u32,
+    },
+}
+
+/// How long a replica keeps an unanswered client reply handle before
+/// concluding the request was lost upstream (view change, deposed
+/// leadership) and the client has long since retried elsewhere. Twice the
+/// client's default overall submission budget.
+const WAITER_TTL: Duration = Duration::from_secs(60);
+
+const FRAME_PEER: u8 = 1;
+const FRAME_REQUEST: u8 = 2;
+const FRAME_APPLIED: u8 = 3;
+const FRAME_REDIRECT: u8 = 4;
+
+impl Wire for SmrFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SmrFrame::Peer { from, msg } => {
+                out.push(FRAME_PEER);
+                put::u32(out, *from);
+                msg.encode(out);
+            }
+            SmrFrame::Request { request, cmd } => {
+                out.push(FRAME_REQUEST);
+                put::u64(out, request.client);
+                put::u64(out, request.seq);
+                cmd.encode(out);
+            }
+            SmrFrame::Reply(SmrReply::Applied { request }) => {
+                out.push(FRAME_APPLIED);
+                put::u64(out, request.client);
+                put::u64(out, request.seq);
+            }
+            SmrFrame::Reply(SmrReply::Redirect { request, leader }) => {
+                out.push(FRAME_REDIRECT);
+                put::u64(out, request.client);
+                put::u64(out, request.seq);
+                put::u32(out, *leader);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.u8()?;
+        match tag {
+            FRAME_PEER => {
+                let from = r.u32()?;
+                let msg = SlotMessage::decode(r)?;
+                Ok(SmrFrame::Peer { from, msg })
+            }
+            FRAME_REQUEST => {
+                let request = RequestId {
+                    client: r.u64()?,
+                    seq: r.u64()?,
+                };
+                let cmd = Command::decode(r)?;
+                Ok(SmrFrame::Request { request, cmd })
+            }
+            FRAME_APPLIED => {
+                let request = RequestId {
+                    client: r.u64()?,
+                    seq: r.u64()?,
+                };
+                Ok(SmrFrame::Reply(SmrReply::Applied { request }))
+            }
+            FRAME_REDIRECT => {
+                let request = RequestId {
+                    client: r.u64()?,
+                    seq: r.u64()?,
+                };
+                let leader = r.u32()?;
+                Ok(SmrFrame::Reply(SmrReply::Redirect { request, leader }))
+            }
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+/// What one replica held when the cluster was shut down.
+#[derive(Clone, Debug)]
+pub struct ReplicaReport {
+    /// The replica's id.
+    pub id: usize,
+    /// Its decided, applied command log (identical across correct
+    /// replicas).
+    pub log: Vec<Command>,
+    /// Its application state.
+    pub state: KvStore,
+    /// Per-slot consensus instances still heap-resident (bounded by the
+    /// pipeline depth — decided slots are pruned on apply).
+    pub resident_slots: usize,
+    /// Messages its node dropped at the bounded future-slot buffer.
+    pub dropped_messages: u64,
+}
+
+/// Builds a live TCP cluster that serves state-machine replication to
+/// [`SmrClient`](crate::SmrClient)s.
+///
+/// ```no_run
+/// use probft_runtime::LiveSmrBuilder;
+///
+/// let cluster = LiveSmrBuilder::new(4).start().unwrap();
+/// let mut client = cluster.client(1);
+/// client.put("greeting", "hello").unwrap();
+/// let reports = cluster.shutdown();
+/// assert!(reports.iter().all(|r| r.state.get("greeting") == Some("hello")));
+/// ```
+#[derive(Debug)]
+pub struct LiveSmrBuilder {
+    n: usize,
+    seed: u64,
+    base_port: Option<u16>,
+    pipeline_depth: usize,
+    batch_size: usize,
+}
+
+impl LiveSmrBuilder {
+    /// Starts building an `n`-replica live SMR cluster on OS-assigned
+    /// loopback ports, pipeline depth 4, batch size 8.
+    pub fn new(n: usize) -> Self {
+        LiveSmrBuilder {
+            n,
+            seed: 1,
+            base_port: None,
+            pipeline_depth: 4,
+            batch_size: 8,
+        }
+    }
+
+    /// Key-generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses a fixed port range (replica `i` on `base_port + i`) instead of
+    /// OS-assigned ports.
+    pub fn base_port(mut self, port: u16) -> Self {
+        self.base_port = Some(port);
+        self
+    }
+
+    /// How many log slots run consensus concurrently.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Most pending commands the leader packs into one slot's batch.
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Boots the replica threads and returns a handle serving clients.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Bind`] if a listener port cannot be bound.
+    pub fn start(self) -> Result<LiveSmrCluster, ClusterError> {
+        // A generous base view timeout (250 ms wall time under the
+        // tick-is-a-microsecond convention): loopback slots decide in
+        // single-digit milliseconds, so view changes fire only on real
+        // trouble, not on a loaded CI machine's scheduling hiccups.
+        let cfg: SharedConfig = Arc::new(
+            ProbftConfig::builder(self.n)
+                .base_timeout(SimDuration::from_ticks(250_000))
+                .build(),
+        );
+        let keyring = Keyring::generate(self.n, &self.seed.to_be_bytes());
+        let public = Arc::new(keyring.public());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(TransportStats::default());
+        let settings = SmrSettings::live(self.pipeline_depth, self.batch_size);
+
+        let (listeners, addrs) = bind_listeners(self.n, self.base_port)?;
+        let addrs = Arc::new(addrs);
+
+        let applied_lens: Vec<Arc<AtomicU64>> =
+            (0..self.n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+
+        let mut handles = Vec::with_capacity(self.n);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let cfg = cfg.clone();
+            let sk = keyring.signing_key(i).expect("in range").clone();
+            let public = public.clone();
+            let shutdown = shutdown.clone();
+            let stats = stats.clone();
+            let addrs = addrs.clone();
+            let applied_len = applied_lens[i].clone();
+            handles.push(thread::spawn(move || {
+                smr_replica_main(
+                    i,
+                    addrs,
+                    listener,
+                    cfg,
+                    sk,
+                    public,
+                    settings,
+                    shutdown,
+                    stats,
+                    applied_len,
+                )
+            }));
+        }
+
+        Ok(LiveSmrCluster {
+            addrs,
+            shutdown,
+            handles,
+            stats,
+            applied_lens,
+        })
+    }
+}
+
+/// A running live SMR cluster. Dropping without calling
+/// [`shutdown`](Self::shutdown) detaches the replica threads; call
+/// `shutdown` to stop them and collect their final logs and states.
+#[derive(Debug)]
+pub struct LiveSmrCluster {
+    addrs: Arc<Vec<SocketAddr>>,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<thread::JoinHandle<ReplicaReport>>,
+    stats: Arc<TransportStats>,
+    /// Per-replica applied-log lengths, for the quiescence wait at
+    /// shutdown.
+    applied_lens: Vec<Arc<AtomicU64>>,
+}
+
+impl LiveSmrCluster {
+    /// The replicas' listening addresses, indexed by replica id.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Creates a client for this cluster. `client_id` must be unique among
+    /// concurrently submitting clients — it namespaces request ids.
+    pub fn client(&self, client_id: u64) -> crate::client::SmrClient {
+        crate::client::SmrClient::new(self.addrs.to_vec(), client_id)
+    }
+
+    /// Cluster-wide frame-rejection counters.
+    pub fn stats(&self) -> Arc<TransportStats> {
+        self.stats.clone()
+    }
+
+    /// Per-replica applied-log lengths right now (indexed by replica id).
+    pub fn applied_lens(&self) -> Vec<u64> {
+        self.applied_lens
+            .iter()
+            .map(|len| len.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Stops every replica thread and returns what each one held, in
+    /// replica-id order.
+    ///
+    /// The leader answers a client as soon as *it* applies, so at the
+    /// moment the last reply arrives the followers may still be a few
+    /// commit deliveries behind. Before raising the shutdown flag this
+    /// waits (bounded) for quiescence — every replica at the same applied
+    /// length, unchanged for a quiet period — so callers that stopped
+    /// submitting observe identical logs everywhere.
+    pub fn shutdown(self) -> Vec<ReplicaReport> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut stable: Option<(Vec<u64>, Instant)> = None;
+        while Instant::now() < deadline {
+            let lens = self.applied_lens();
+            let all_equal = lens.windows(2).all(|w| w[0] == w[1]);
+            match &stable {
+                Some((prev, since)) if *prev == lens => {
+                    if all_equal && since.elapsed() >= Duration::from_millis(250) {
+                        break;
+                    }
+                }
+                _ => stable = Some((lens, Instant::now())),
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut reports: Vec<ReplicaReport> = self
+            .handles
+            .into_iter()
+            .filter_map(|h| h.join().ok())
+            .collect();
+        reports.sort_by_key(|r| r.id);
+        reports
+    }
+}
+
+/// Inbound events to a live SMR replica's event loop.
+enum SmrEvent {
+    /// Consensus traffic from a peer replica.
+    Peer(ProcessId, SlotMessage),
+    /// A client submission, with the write half of its connection for the
+    /// eventual reply.
+    Request {
+        request: RequestId,
+        cmd: Command,
+        reply: Arc<Mutex<TcpStream>>,
+    },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn smr_replica_main(
+    id: usize,
+    addrs: Arc<Vec<SocketAddr>>,
+    listener: TcpListener,
+    cfg: SharedConfig,
+    sk: SigningKey,
+    public: Arc<PublicKeyring>,
+    settings: SmrSettings,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<TransportStats>,
+    applied_len: Arc<AtomicU64>,
+) -> ReplicaReport {
+    let n = addrs.len();
+    let (event_tx, event_rx) = mpsc::channel::<SmrEvent>();
+
+    let mut node = SmrNode::new(
+        cfg,
+        ReplicaId::from(id),
+        sk,
+        public,
+        Vec::new(), // no prebuilt workload: commands arrive from clients
+        settings,
+    );
+
+    // Accept loop: one tracked reader thread per inbound connection
+    // (peer or client — frames are self-describing).
+    let readers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept_handle = {
+        let event_tx = event_tx.clone();
+        let shutdown = shutdown.clone();
+        let stats = stats.clone();
+        let readers = readers.clone();
+        let can_accept = listener.set_nonblocking(true).is_ok();
+        thread::spawn(move || {
+            while can_accept && !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let event_tx = event_tx.clone();
+                        let shutdown = shutdown.clone();
+                        let stats = stats.clone();
+                        let handle = thread::spawn(move || {
+                            smr_reader_loop(stream, n, event_tx, shutdown, stats)
+                        });
+                        if let Ok(mut guard) = readers.lock() {
+                            reap_finished(&mut guard);
+                            guard.push(handle);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+
+    let mut rng = StdRng::seed_from_u64(0x11FE ^ id as u64);
+    let mut peers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    let mut timers: BinaryHeap<Reverse<(Instant, TimerToken)>> = BinaryHeap::new();
+    // Clients awaiting a post-apply reply, by request id, with the time
+    // each entry was (last) registered.
+    let mut waiting: BTreeMap<RequestId, (Arc<Mutex<TcpStream>>, Instant)> = BTreeMap::new();
+    let started = Instant::now();
+    let now_sim = |started: Instant| SimTime::from_ticks(started.elapsed().as_micros() as u64);
+    // Retry connects while the cluster boots; fail fast afterwards so a
+    // dead peer costs a refusal, not a stall, per send.
+    let connect_attempts = |started: Instant| {
+        if started.elapsed() < Duration::from_secs(5) {
+            BOOT_CONNECT_ATTEMPTS
+        } else {
+            STEADY_CONNECT_ATTEMPTS
+        }
+    };
+
+    // Start the node (in live mode this opens no slots until traffic
+    // arrives).
+    let actions = {
+        let mut ctx: Context<'_, SlotMessage> =
+            Context::detached(ProcessId(id), now_sim(started), &mut rng);
+        node.on_start(&mut ctx);
+        ctx.drain_actions()
+    };
+    apply_smr_actions(
+        id,
+        &addrs,
+        actions,
+        &mut peers,
+        &mut timers,
+        connect_attempts(started),
+    );
+
+    while !shutdown.load(Ordering::SeqCst) {
+        // Fire due timers.
+        while let Some(Reverse((deadline, token))) = timers.peek().copied() {
+            if deadline > Instant::now() {
+                break;
+            }
+            timers.pop();
+            let actions = {
+                let mut ctx: Context<'_, SlotMessage> =
+                    Context::detached(ProcessId(id), now_sim(started), &mut rng);
+                node.on_timer(token, &mut ctx);
+                ctx.drain_actions()
+            };
+            apply_smr_actions(
+                id,
+                &addrs,
+                actions,
+                &mut peers,
+                &mut timers,
+                connect_attempts(started),
+            );
+        }
+
+        // Wait for the next event or timer deadline.
+        let wait = timers
+            .peek()
+            .map(|Reverse((deadline, _))| deadline.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(20))
+            .min(Duration::from_millis(20));
+        match event_rx.recv_timeout(wait) {
+            Ok(SmrEvent::Peer(from, msg)) => {
+                let actions = {
+                    let mut ctx: Context<'_, SlotMessage> =
+                        Context::detached(ProcessId(id), now_sim(started), &mut rng);
+                    node.on_message(from, msg, &mut ctx);
+                    ctx.drain_actions()
+                };
+                apply_smr_actions(
+                    id,
+                    &addrs,
+                    actions,
+                    &mut peers,
+                    &mut timers,
+                    connect_attempts(started),
+                );
+            }
+            Ok(SmrEvent::Request {
+                request,
+                cmd,
+                reply,
+            }) => {
+                let leader = node.current_leader();
+                if leader.index() != id {
+                    // Not the leader: point the client at who is.
+                    send_reply(
+                        &reply,
+                        SmrReply::Redirect {
+                            request,
+                            leader: leader.index() as u32,
+                        },
+                    );
+                } else if node.request_applied(request) {
+                    // A retry of something already applied: answer
+                    // immediately without re-ordering it (at-most-once).
+                    send_reply(&reply, SmrReply::Applied { request });
+                } else {
+                    // Accept: remember who to answer, feed the command
+                    // into the pending queue. Duplicate in-flight retries
+                    // just refresh the reply handle; the decided log's
+                    // dedup keeps execution at-most-once.
+                    waiting.insert(request, (reply, Instant::now()));
+                    let actions = {
+                        let mut ctx: Context<'_, SlotMessage> =
+                            Context::detached(ProcessId(id), now_sim(started), &mut rng);
+                        node.submit(Command::tagged(request, cmd), &mut ctx);
+                        ctx.drain_actions()
+                    };
+                    apply_smr_actions(
+                        id,
+                        &addrs,
+                        actions,
+                        &mut peers,
+                        &mut timers,
+                        connect_attempts(started),
+                    );
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+
+        // Answer every client whose command reached the applied log.
+        for applied in node.drain_applied() {
+            if let Some((reply, _)) = waiting.remove(&applied.request) {
+                send_reply(
+                    &reply,
+                    SmrReply::Applied {
+                        request: applied.request,
+                    },
+                );
+            }
+        }
+        // Forget waiters whose command never reached the log (e.g. lost
+        // to a view change before being re-proposed): past the client's
+        // retry budget nobody reads the handle any more, and keeping it
+        // would pin the connection forever.
+        if !waiting.is_empty() {
+            waiting.retain(|_, (_, since)| since.elapsed() < WAITER_TTL);
+        }
+        applied_len.store(node.log().len() as u64, Ordering::SeqCst);
+    }
+
+    // Join the accept loop and every reader before reporting, so shutdown
+    // leaves no running threads behind.
+    let _ = accept_handle.join();
+    let handles = match readers.lock() {
+        Ok(mut guard) => guard.drain(..).collect::<Vec<_>>(),
+        Err(_) => Vec::new(),
+    };
+    for handle in handles {
+        let _ = handle.join();
+    }
+
+    ReplicaReport {
+        id,
+        log: node.log().to_vec(),
+        state: node.state().clone(),
+        resident_slots: node.resident_slots(),
+        dropped_messages: node.dropped_messages(),
+    }
+}
+
+/// Writes one reply frame to a client connection, ignoring failures (a
+/// vanished client simply never reads its answer; the state machine is
+/// already consistent).
+fn send_reply(conn: &Arc<Mutex<TcpStream>>, reply: SmrReply) {
+    if let Ok(mut stream) = conn.lock() {
+        let _ = write_frame(&mut *stream, &SmrFrame::Reply(reply).to_wire_bytes());
+    }
+}
+
+/// Parses frames off one connection and forwards them as events. Torn,
+/// short, malformed, and oversized input is counted and never panics.
+fn smr_reader_loop(
+    stream: TcpStream,
+    n: usize,
+    event_tx: mpsc::Sender<SmrEvent>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<TransportStats>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    // Bound reply writes: a client that stops reading must cost the
+    // replica a failed write, not a wedged event loop.
+    let _ = stream.set_write_timeout(Some(WRITE_STALL_LIMIT));
+    // The write half, shared by every request event from this connection.
+    let reply = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let mut reader = std::io::BufReader::new(stream);
+    while !shutdown.load(Ordering::SeqCst) {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => match SmrFrame::from_wire_bytes(&frame) {
+                Ok(SmrFrame::Peer { from, msg }) if (from as usize) < n => {
+                    if event_tx
+                        .send(SmrEvent::Peer(ProcessId(from as usize), msg))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                Ok(SmrFrame::Request { request, cmd }) => {
+                    let event = SmrEvent::Request {
+                        request,
+                        cmd,
+                        reply: reply.clone(),
+                    };
+                    if event_tx.send(event).is_err() {
+                        return;
+                    }
+                }
+                // Out-of-range sender ids and replies sent *to* a replica
+                // are malformed input; drop, count, keep the connection.
+                Ok(SmrFrame::Peer { .. }) | Ok(SmrFrame::Reply(_)) => stats.note_malformed(),
+                Err(_) => stats.note_malformed(),
+            },
+            Ok(None) => return, // clean close at a frame boundary
+            Err(FrameError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(FrameError::Oversized(_)) => {
+                stats.note_malformed();
+                return;
+            }
+            Err(FrameError::Io(_) | FrameError::Stalled { .. }) => {
+                stats.note_torn();
+                return;
+            }
+        }
+    }
+}
+
+/// Interprets an [`SmrNode`]'s drained actions against sockets and the
+/// timer heap. `connect_attempts` distinguishes the boot window (retry
+/// while peers come up) from steady state (fail fast so a dead replica
+/// cannot stall the event loop on every send).
+fn apply_smr_actions(
+    id: usize,
+    addrs: &[SocketAddr],
+    actions: Vec<Action<SlotMessage>>,
+    peers: &mut [Option<TcpStream>],
+    timers: &mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
+    connect_attempts: u32,
+) {
+    for action in actions {
+        match action {
+            Action::Send { to, msg } => {
+                if to.index() >= addrs.len() {
+                    continue;
+                }
+                let frame = SmrFrame::Peer {
+                    from: id as u32,
+                    msg,
+                }
+                .to_wire_bytes();
+                if let Some(stream) = connect_peer(peers, to.index(), addrs, connect_attempts) {
+                    if write_frame(stream, &frame).is_err() {
+                        peers[to.index()] = None; // drop broken link; retry later
+                    }
+                }
+            }
+            Action::SetTimer { delay, token } => {
+                let deadline = Instant::now() + tick_to_duration(delay);
+                timers.push(Reverse((deadline, token)));
+            }
+            Action::Halt => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> RequestId {
+        RequestId { client: 3, seq: 9 }
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let frames = [
+            SmrFrame::Request {
+                request: sample_request(),
+                cmd: Command::Put {
+                    key: "k".into(),
+                    value: "v".into(),
+                },
+            },
+            SmrFrame::Reply(SmrReply::Applied {
+                request: sample_request(),
+            }),
+            SmrFrame::Reply(SmrReply::Redirect {
+                request: sample_request(),
+                leader: 2,
+            }),
+        ];
+        for frame in frames {
+            let bytes = frame.to_wire_bytes();
+            assert_eq!(SmrFrame::from_wire_bytes(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn garbage_frames_rejected() {
+        assert!(SmrFrame::from_wire_bytes(&[]).is_err());
+        assert!(SmrFrame::from_wire_bytes(&[0xFF, 1, 2, 3]).is_err());
+        // A peer frame with a truncated slot message.
+        let mut bytes = vec![FRAME_PEER];
+        put::u32(&mut bytes, 0);
+        put::u64(&mut bytes, 7);
+        assert!(SmrFrame::from_wire_bytes(&bytes).is_err());
+    }
+}

@@ -10,6 +10,26 @@ use probft_core::wire::{put, Reader, Wire, WireError};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Identifies one client request: the submitting client plus a per-client
+/// sequence number that increases by one per *new* command (retries reuse
+/// the number). Because the id travels through consensus inside
+/// [`Command::Tagged`], every replica sees the same ids in the same order
+/// and can deduplicate retried submissions identically — the basis of the
+/// client path's at-most-once semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId {
+    /// The submitting client's identifier.
+    pub client: u64,
+    /// The client's sequence number for this request.
+    pub seq: u64,
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}#{}", self.client, self.seq)
+    }
+}
+
 /// A state-machine command.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Command {
@@ -28,6 +48,45 @@ pub enum Command {
     /// Order nothing (used to keep slots progressing when a replica has no
     /// pending client command).
     Noop,
+    /// A client-submitted command tagged with its [`RequestId`], so
+    /// replicas can deduplicate retries and route the post-apply reply.
+    /// The inner command is never itself tagged (the decoder rejects
+    /// nesting).
+    Tagged {
+        /// Who submitted this command, and with which sequence number.
+        request: RequestId,
+        /// The operation to apply.
+        op: Box<Command>,
+    },
+}
+
+impl Command {
+    /// Wraps `op` with a client request id (flattening an already tagged
+    /// command so nesting cannot arise).
+    pub fn tagged(request: RequestId, op: Command) -> Self {
+        let op = match op {
+            Command::Tagged { op, .. } => op,
+            other => Box::new(other),
+        };
+        Command::Tagged { request, op }
+    }
+
+    /// The client request id, if this command came through the client
+    /// front-end.
+    pub fn request(&self) -> Option<RequestId> {
+        match self {
+            Command::Tagged { request, .. } => Some(*request),
+            _ => None,
+        }
+    }
+
+    /// The underlying operation, stripped of any client tag.
+    pub fn op(&self) -> &Command {
+        match self {
+            Command::Tagged { op, .. } => op,
+            other => other,
+        }
+    }
 }
 
 impl Command {
@@ -46,6 +105,10 @@ impl Command {
     }
 }
 
+/// Wire tag for [`Command::Tagged`]; above [`BATCH_TAG`] so all four frame
+/// kinds (bare commands 1–3, batch 4, tagged 5) stay distinguishable.
+const TAGGED_TAG: u8 = 5;
+
 impl Wire for Command {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -59,6 +122,12 @@ impl Wire for Command {
                 put::var_bytes(out, key.as_bytes());
             }
             Command::Noop => out.push(3),
+            Command::Tagged { request, op } => {
+                out.push(TAGGED_TAG);
+                put::u64(out, request.client);
+                put::u64(out, request.seq);
+                op.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -76,6 +145,23 @@ impl Wire for Command {
                 Ok(Command::Delete { key })
             }
             3 => Ok(Command::Noop),
+            TAGGED_TAG => {
+                let request = RequestId {
+                    client: r.u64()?,
+                    seq: r.u64()?,
+                };
+                let op = Command::decode(r)?;
+                if matches!(op, Command::Tagged { .. }) {
+                    // Nested tags never originate from an honest client;
+                    // rejecting them keeps decoding depth (and dedup
+                    // semantics) flat.
+                    return Err(WireError::UnknownTag(TAGGED_TAG));
+                }
+                Ok(Command::Tagged {
+                    request,
+                    op: Box::new(op),
+                })
+            }
             t => Err(WireError::UnknownTag(t)),
         }
     }
@@ -87,6 +173,7 @@ impl fmt::Display for Command {
             Command::Put { key, value } => write!(f, "PUT {key}={value}"),
             Command::Delete { key } => write!(f, "DEL {key}"),
             Command::Noop => f.write_str("NOOP"),
+            Command::Tagged { request, op } => write!(f, "{request} {op}"),
         }
     }
 }
@@ -195,7 +282,9 @@ impl KvStore {
         Self::default()
     }
 
-    /// Applies a decided command.
+    /// Applies a decided command. A [`Command::Tagged`] wrapper is
+    /// transparent to the state machine: the inner operation is applied
+    /// (and counted) exactly once.
     pub fn apply(&mut self, cmd: &Command) {
         match cmd {
             Command::Put { key, value } => {
@@ -205,6 +294,7 @@ impl KvStore {
                 self.map.remove(key);
             }
             Command::Noop => {}
+            Command::Tagged { op, .. } => return self.apply(op),
         }
         self.applied += 1;
     }
@@ -338,6 +428,61 @@ mod tests {
         Batch(vec![Command::Noop, Command::Noop]).encode(&mut torn);
         torn.truncate(torn.len() - 1);
         assert!(Batch::from_wire_bytes(&torn).is_err());
+    }
+
+    #[test]
+    fn tagged_command_round_trip() {
+        let request = RequestId { client: 7, seq: 42 };
+        let cmd = Command::tagged(
+            request,
+            Command::Put {
+                key: "k".into(),
+                value: "v".into(),
+            },
+        );
+        let decoded = Command::from_value(&cmd.to_value()).unwrap();
+        assert_eq!(decoded, cmd);
+        assert_eq!(decoded.request(), Some(request));
+        assert_eq!(
+            decoded.op(),
+            &Command::Put {
+                key: "k".into(),
+                value: "v".into()
+            }
+        );
+    }
+
+    #[test]
+    fn nested_tag_is_flattened_on_construction_and_rejected_on_decode() {
+        let inner = RequestId { client: 1, seq: 1 };
+        let outer = RequestId { client: 2, seq: 2 };
+        let flat = Command::tagged(outer, Command::tagged(inner, Command::Noop));
+        assert_eq!(flat.request(), Some(outer));
+        assert_eq!(flat.op(), &Command::Noop);
+
+        // Hand-craft nested wire bytes: 5 ‖ id ‖ (5 ‖ id ‖ noop).
+        let mut bytes = vec![5u8];
+        put::u64(&mut bytes, 2);
+        put::u64(&mut bytes, 2);
+        bytes.push(5);
+        put::u64(&mut bytes, 1);
+        put::u64(&mut bytes, 1);
+        bytes.push(3);
+        assert!(Command::from_wire_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn tagged_apply_is_transparent_and_counted_once() {
+        let mut kv = KvStore::new();
+        kv.apply(&Command::tagged(
+            RequestId { client: 9, seq: 1 },
+            Command::Put {
+                key: "a".into(),
+                value: "1".into(),
+            },
+        ));
+        assert_eq!(kv.get("a"), Some("1"));
+        assert_eq!(kv.applied(), 1);
     }
 
     #[test]

@@ -36,6 +36,7 @@ impl SmrBuilder {
                 target_len,
                 pipeline_depth: 4,
                 batch_size: 1,
+                lazy_open: false,
             },
             max_events: 50_000_000,
         }
@@ -102,6 +103,12 @@ impl SmrBuilder {
         let states: Vec<crate::command::KvStore> = (0..self.n)
             .map(|i| sim.process(ProcessId(i)).state().clone())
             .collect();
+        let resident_slots: Vec<usize> = (0..self.n)
+            .map(|i| sim.process(ProcessId(i)).resident_slots())
+            .collect();
+        let dropped_messages: Vec<u64> = (0..self.n)
+            .map(|i| sim.process(ProcessId(i)).dropped_messages())
+            .collect();
 
         // Throughput is measured at replica 0: all correct replicas apply
         // the same slots, so its view is representative of the run.
@@ -116,6 +123,8 @@ impl SmrBuilder {
         SmrOutcome {
             logs,
             states,
+            resident_slots,
+            dropped_messages,
             metrics: sim.metrics().clone(),
             throughput,
             finished_at: sim.now(),
@@ -131,6 +140,13 @@ pub struct SmrOutcome {
     pub logs: Vec<Vec<Command>>,
     /// Per-replica final application states.
     pub states: Vec<crate::command::KvStore>,
+    /// Per-replica count of consensus instances still heap-resident at the
+    /// end of the run (bounded by the pipeline depth: applied slots are
+    /// pruned).
+    pub resident_slots: Vec<usize>,
+    /// Per-replica count of messages dropped by the bounded future-slot
+    /// buffer (zero in honest runs).
+    pub dropped_messages: Vec<u64>,
     /// Message metrics.
     pub metrics: MessageMetrics,
     /// Commands/slots/ticks throughput accounting (measured at replica 0).

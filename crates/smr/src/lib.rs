@@ -41,6 +41,9 @@ pub mod command;
 pub mod harness;
 pub mod node;
 
-pub use command::{Batch, Command, KvStore};
+pub use command::{Batch, Command, KvStore, RequestId};
 pub use harness::{SmrBuilder, SmrOutcome};
-pub use node::{SlotMessage, SmrNode, SmrSettings};
+pub use node::{
+    AppliedRequest, SlotMessage, SmrNode, SmrSettings, FUTURE_WINDOW_DEPTHS, MAX_BUFFERED_PER_SLOT,
+    MIN_FUTURE_WINDOW,
+};

@@ -20,12 +20,12 @@
 //! *pure orchestration*, so any fix to the consensus core is inherited
 //! here.
 
-use crate::command::{Batch, Command, KvStore};
+use crate::command::{Batch, Command, KvStore, RequestId};
 use probft_core::config::SharedConfig;
 use probft_core::message::Message;
 use probft_core::replica::Replica;
 use probft_core::value::Value;
-use probft_core::wire::Wire;
+use probft_core::wire::{put, Reader, Wire, WireError};
 use probft_crypto::keyring::PublicKeyring;
 use probft_crypto::schnorr::SigningKey;
 use probft_quorum::ReplicaId;
@@ -55,6 +55,18 @@ impl Measurable for SlotMessage {
     }
 }
 
+impl Wire for SlotMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put::u64(out, self.slot);
+        self.inner.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let slot = r.u64()?;
+        let inner = Message::decode(r)?;
+        Ok(SlotMessage { slot, inner })
+    }
+}
+
 /// Replication parameters shared by every node of a cluster.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SmrSettings {
@@ -65,6 +77,12 @@ pub struct SmrSettings {
     pub pipeline_depth: usize,
     /// Most commands a proposer packs into one slot's batch (≥ 1).
     pub batch_size: usize,
+    /// Demand-driven slot opening (the live-cluster mode): a node opens a
+    /// slot only when it holds pending commands to propose, or when peer
+    /// traffic for an in-window slot arrives. With `false` (the simulator
+    /// workload mode) slots open eagerly up to the pipeline window until
+    /// `target_len` is reached.
+    pub lazy_open: bool,
 }
 
 impl SmrSettings {
@@ -75,7 +93,21 @@ impl SmrSettings {
             target_len,
             pipeline_depth: 1,
             batch_size: 1,
+            lazy_open: false,
         }
+    }
+
+    /// Open-ended, demand-driven replication for a live cluster serving
+    /// client traffic: no target length, slots open only for what actually
+    /// arrived.
+    pub fn live(pipeline_depth: usize, batch_size: usize) -> Self {
+        SmrSettings {
+            target_len: usize::MAX,
+            pipeline_depth,
+            batch_size,
+            lazy_open: true,
+        }
+        .normalized()
     }
 
     fn normalized(mut self) -> Self {
@@ -83,6 +115,42 @@ impl SmrSettings {
         self.batch_size = self.batch_size.max(1);
         self
     }
+}
+
+/// Most messages buffered for any single not-yet-opened slot. Honest
+/// replicas send a small constant number of messages per slot per view;
+/// anything past this is a misbehaving peer flooding one slot.
+pub const MAX_BUFFERED_PER_SLOT: usize = 1024;
+
+/// How many slots ahead of the lowest unapplied slot a node accepts
+/// buffered traffic for, as a multiple of the pipeline depth (with a
+/// floor, so shallow pipelines still tolerate honest skew). Peers can
+/// transiently run ahead of a lagging replica by more than one pipeline
+/// window — their quorums need not include the laggard — and without
+/// retransmission or state transfer (ROADMAP: checkpointing), dropping
+/// honest in-horizon traffic would stall the laggard. Beyond the horizon
+/// the sender is either Byzantine (spraying far-future slot numbers) or
+/// so far ahead that only a future checkpoint transfer could help, so the
+/// message is dropped and counted instead of growing memory without
+/// bound.
+pub const FUTURE_WINDOW_DEPTHS: u64 = 4;
+
+/// Floor for the buffering horizon in slots.
+pub const MIN_FUTURE_WINDOW: u64 = 16;
+
+/// Notification that a client-tagged command reached the applied log —
+/// drained by the embedding runtime to answer the submitting client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppliedRequest {
+    /// The request that was applied.
+    pub request: RequestId,
+    /// The log slot whose batch carried it.
+    pub slot: u64,
+    /// Whether the operation executed against the state machine. `false`
+    /// means this decided entry was a duplicate of an already-applied
+    /// request (a client retry that got ordered twice) and was skipped —
+    /// the at-most-once guarantee in action.
+    pub executed: bool,
 }
 
 /// A replica of the replicated state machine.
@@ -96,10 +164,18 @@ pub struct SmrNode {
     pending: VecDeque<Command>,
     settings: SmrSettings,
 
-    /// Active (and completed) per-slot consensus instances.
+    /// Per-slot consensus instances still in flight. Applied slots are
+    /// pruned immediately (only the log and KV state survive), so this map
+    /// never holds more than `pipeline_depth` replicas.
     slots: BTreeMap<u64, Replica>,
-    /// Messages for slots that have not started here yet.
+    /// Messages for in-window slots that have not started here yet.
+    /// Bounded: only slots inside the pipeline window ahead of the lowest
+    /// unapplied slot are buffered, and each slot buffers at most
+    /// [`MAX_BUFFERED_PER_SLOT`] messages.
     future: BTreeMap<u64, Vec<Message>>,
+    /// Messages dropped because they were outside the buffering window
+    /// (far-future slot spray, stale slots) or over the per-slot cap.
+    dropped_messages: u64,
     /// The lowest slot whose decision has not been applied yet.
     next_apply: u64,
     /// The next slot index to open (slots `next_apply..next_open` are in
@@ -114,6 +190,12 @@ pub struct SmrNode {
     log: Vec<Command>,
     /// The application state machine.
     state: KvStore,
+    /// Highest applied request sequence number per client — the dedup
+    /// table behind at-most-once execution of retried client requests.
+    /// Bounded by the number of distinct clients.
+    applied_requests: BTreeMap<u64, u64>,
+    /// Apply notifications not yet drained by the embedding runtime.
+    applied_events: Vec<AppliedRequest>,
     rng: StdRng,
 }
 
@@ -138,12 +220,15 @@ impl SmrNode {
             settings: settings.normalized(),
             slots: BTreeMap::new(),
             future: BTreeMap::new(),
+            dropped_messages: 0,
             next_apply: 0,
             next_open: 0,
             timers: BTreeMap::new(),
             next_timer: 0,
             log: Vec::new(),
             state: KvStore::new(),
+            applied_requests: BTreeMap::new(),
+            applied_events: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -178,6 +263,63 @@ impl SmrNode {
         self.settings
     }
 
+    /// Per-slot consensus instances currently resident on the heap.
+    /// Bounded by `pipeline_depth`: decided slots are pruned on apply.
+    pub fn resident_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Messages dropped for being outside the bounded buffering window or
+    /// over the per-slot buffer cap (misbehaving-peer pressure released).
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
+    }
+
+    /// Messages currently buffered for in-window slots not yet open here.
+    pub fn buffered_future(&self) -> usize {
+        self.future.values().map(Vec::len).sum()
+    }
+
+    /// Commands queued locally but not yet proposed into a slot.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The replica this node believes currently leads the cluster: the
+    /// leader of the lowest in-flight slot's view, or of the first view
+    /// when no slot is in flight. Clients are redirected here.
+    pub fn current_leader(&self) -> ReplicaId {
+        let view = self
+            .slots
+            .values()
+            .next()
+            .map(|r| r.current_view())
+            .unwrap_or(probft_core::config::View::FIRST);
+        self.cfg.leader_of(view)
+    }
+
+    /// Whether `request` has already been applied to the state machine
+    /// (so a retried submission can be answered without re-ordering it).
+    pub fn request_applied(&self, request: RequestId) -> bool {
+        self.applied_requests
+            .get(&request.client)
+            .is_some_and(|&last| last >= request.seq)
+    }
+
+    /// Enqueues a client-submitted command for ordering and opens a slot
+    /// for it if the pipeline window allows. The live runtime calls this
+    /// on the leader for each accepted client request.
+    pub fn submit(&mut self, cmd: Command, ctx: &mut Context<'_, SlotMessage>) {
+        self.pending.push_back(cmd);
+        self.open_ready_slots(ctx);
+    }
+
+    /// Removes and returns the apply notifications for client-tagged
+    /// commands since the last drain.
+    pub fn drain_applied(&mut self) -> Vec<AppliedRequest> {
+        std::mem::take(&mut self.applied_events)
+    }
+
     /// The value this node proposes for the next slot: a batch of up to
     /// `batch_size` pending commands, or a lone no-op to keep the slot
     /// progressing.
@@ -195,11 +337,16 @@ impl SmrNode {
         Batch(cmds).to_value()
     }
 
-    /// Opens every slot the pipeline window allows.
+    /// Opens every slot the pipeline window allows. In lazy (live) mode a
+    /// slot is only opened while commands are pending locally — peers
+    /// instead open slots on demand when traffic for them arrives.
     fn open_ready_slots(&mut self, ctx: &mut Context<'_, SlotMessage>) {
         while self.log.len() < self.settings.target_len
             && self.next_open < self.next_apply + self.settings.pipeline_depth as u64
         {
+            if self.settings.lazy_open && self.pending.is_empty() {
+                break;
+            }
             let slot = self.next_open;
             self.next_open += 1;
             self.open_slot(slot, ctx);
@@ -288,7 +435,8 @@ impl SmrNode {
         }
     }
 
-    /// Applies decided slots in order and refills the pipeline window.
+    /// Applies decided slots in order, prunes their consensus state, and
+    /// refills the pipeline window.
     fn advance(&mut self, ctx: &mut Context<'_, SlotMessage>) {
         while self.log.len() < self.settings.target_len {
             let Some(decision) = self.slots.get(&self.next_apply).and_then(|r| r.decision()) else {
@@ -296,13 +444,49 @@ impl SmrNode {
             };
             let batch =
                 Batch::from_value(&decision.value).unwrap_or_else(|_| Batch(vec![Command::Noop]));
+            let slot = self.next_apply;
             for cmd in batch.0 {
-                self.state.apply(&cmd);
-                self.log.push(cmd);
+                self.apply_command(cmd, slot);
             }
+            // The slot is applied: free its replica and message state.
+            // Only the log and KV state outlive a slot (the minimal
+            // precursor to checkpointing / log truncation).
+            self.slots.remove(&slot);
             self.next_apply += 1;
             self.open_ready_slots(ctx);
         }
+        debug_assert!(
+            self.slots.len() <= self.settings.pipeline_depth,
+            "resident slots ({}) exceed the pipeline window ({})",
+            self.slots.len(),
+            self.settings.pipeline_depth,
+        );
+    }
+
+    /// Applies one decided command to the log and — unless it is a
+    /// duplicate of an already-executed client request — the state
+    /// machine. Every replica sees the identical decided sequence, so this
+    /// dedup is deterministic and replicated states stay equal.
+    fn apply_command(&mut self, cmd: Command, slot: u64) {
+        match cmd.request() {
+            Some(request) => {
+                let fresh = !self.request_applied(request);
+                if fresh {
+                    self.state.apply(&cmd);
+                    // Monotone watermark even if a (misbehaving) client's
+                    // sequence numbers get ordered out of order.
+                    let last = self.applied_requests.entry(request.client).or_insert(0);
+                    *last = (*last).max(request.seq);
+                }
+                self.applied_events.push(AppliedRequest {
+                    request,
+                    slot,
+                    executed: fresh,
+                });
+            }
+            None => self.state.apply(&cmd),
+        }
+        self.log.push(cmd);
     }
 }
 
@@ -327,9 +511,47 @@ impl Process for SmrNode {
         let slot = msg.slot;
         if self.slots.contains_key(&slot) {
             self.dispatch(slot, Some(from), DispatchEvent::Message(msg.inner), ctx);
-        } else if slot >= self.next_open {
-            // Not started here yet: buffer until the window reaches it.
-            self.future.entry(slot).or_default().push(msg.inner);
+            return;
+        }
+        if slot < self.next_open {
+            // Below the open frontier but not resident: the slot was
+            // applied and pruned. Stale traffic, drop.
+            self.dropped_messages += 1;
+            return;
+        }
+        // Bounded buffering horizon ahead of the lowest unapplied slot.
+        // A Byzantine peer spraying far-future slot numbers lands here
+        // and is dropped instead of growing memory without bound.
+        let window =
+            (self.settings.pipeline_depth as u64 * FUTURE_WINDOW_DEPTHS).max(MIN_FUTURE_WINDOW);
+        let horizon = self.next_apply.saturating_add(window);
+        if slot >= horizon {
+            self.dropped_messages += 1;
+            return;
+        }
+        let open_horizon = self.next_apply + self.settings.pipeline_depth as u64;
+        if self.settings.lazy_open
+            && slot < open_horizon
+            && self.log.len() < self.settings.target_len
+        {
+            // Live mode: peer traffic for an in-window slot is the signal
+            // that the slot exists — open every slot up to it (proposing
+            // whatever is pending locally, or a no-op) and deliver.
+            while self.next_open <= slot {
+                let open = self.next_open;
+                self.next_open += 1;
+                self.open_slot(open, ctx);
+            }
+            self.dispatch(slot, Some(from), DispatchEvent::Message(msg.inner), ctx);
+            return;
+        }
+        // Eager mode (or target reached): buffer until the window opens
+        // the slot, with a hard per-slot cap against single-slot floods.
+        let buffered = self.future.entry(slot).or_default();
+        if buffered.len() >= MAX_BUFFERED_PER_SLOT {
+            self.dropped_messages += 1;
+        } else {
+            buffered.push(msg.inner);
         }
     }
 
@@ -350,5 +572,104 @@ impl fmt::Debug for SmrNode {
             .field("next_open", &self.next_open)
             .field("log_len", &self.log.len())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probft_core::config::{ProbftConfig, View};
+    use probft_core::message::Wish;
+    use probft_crypto::keyring::Keyring;
+    use probft_simnet::time::SimTime;
+
+    fn test_node(settings: SmrSettings) -> (SmrNode, StdRng) {
+        let n = 4;
+        let cfg: SharedConfig = Arc::new(ProbftConfig::builder(n).build());
+        let keyring = Keyring::generate(n, b"node-tests");
+        let public = Arc::new(keyring.public());
+        let node = SmrNode::new(
+            cfg,
+            ReplicaId(0),
+            keyring.signing_key(0).expect("in range").clone(),
+            public,
+            Vec::new(),
+            settings,
+        );
+        (node, StdRng::seed_from_u64(7))
+    }
+
+    /// Any message from peer 1, tagged with `slot`.
+    fn slot_msg(keyring_seed: &[u8], slot: u64) -> SlotMessage {
+        let keyring = Keyring::generate(4, keyring_seed);
+        let wish = Wish::sign(
+            keyring.signing_key(1).expect("in range"),
+            ReplicaId(1),
+            View(2),
+        );
+        SlotMessage {
+            slot,
+            inner: Message::Wish(wish),
+        }
+    }
+
+    /// A Byzantine peer spraying far-future slot numbers must not grow
+    /// memory: everything beyond the bounded horizon is dropped and
+    /// counted, nothing is buffered for it.
+    #[test]
+    fn far_future_slot_spray_is_dropped_not_buffered() {
+        let (mut node, mut rng) = test_node(SmrSettings {
+            target_len: 1_000_000,
+            pipeline_depth: 2,
+            batch_size: 1,
+            lazy_open: false,
+        });
+        let spray = 1000;
+        for i in 0..spray {
+            let msg = slot_msg(b"node-tests", 1_000_000 + i);
+            let mut ctx = Context::detached(ProcessId(0), SimTime::ZERO, &mut rng);
+            node.on_message(ProcessId(1), msg, &mut ctx);
+        }
+        assert_eq!(node.dropped_messages(), spray);
+        assert_eq!(
+            node.buffered_future(),
+            0,
+            "nothing beyond the horizon buffers"
+        );
+    }
+
+    /// Flooding one in-window slot hits the per-slot cap instead of
+    /// growing its buffer without bound.
+    #[test]
+    fn single_slot_flood_is_capped() {
+        let (mut node, mut rng) = test_node(SmrSettings {
+            target_len: 1_000_000,
+            pipeline_depth: 2,
+            batch_size: 1,
+            lazy_open: false,
+        });
+        // Slot inside the buffering horizon but not yet open (the node
+        // has not started, so nothing is open).
+        let slot = MIN_FUTURE_WINDOW - 1;
+        let flood = MAX_BUFFERED_PER_SLOT as u64 + 500;
+        for _ in 0..flood {
+            let msg = slot_msg(b"node-tests", slot);
+            let mut ctx = Context::detached(ProcessId(0), SimTime::ZERO, &mut rng);
+            node.on_message(ProcessId(1), msg, &mut ctx);
+        }
+        assert_eq!(node.buffered_future(), MAX_BUFFERED_PER_SLOT);
+        assert_eq!(node.dropped_messages(), 500);
+    }
+
+    /// Stale traffic for already-applied (pruned) slots is dropped, and a
+    /// fresh node reports an empty, bounded footprint.
+    #[test]
+    fn footprint_accessors_start_empty() {
+        let (node, _rng) = test_node(SmrSettings::sequential(4));
+        assert_eq!(node.resident_slots(), 0);
+        assert_eq!(node.buffered_future(), 0);
+        assert_eq!(node.dropped_messages(), 0);
+        assert_eq!(node.pending_len(), 0);
+        assert_eq!(node.current_leader(), ReplicaId(0));
     }
 }

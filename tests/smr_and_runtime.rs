@@ -1,6 +1,7 @@
 //! Integration tests for the SMR extension and the live TCP runtime.
 
 use probft::quorum::ReplicaId;
+use probft::runtime::LiveSmrBuilder;
 use probft::smr::{Command, SmrBuilder};
 
 /// Multi-slot SMR with commands submitted at several replicas: identical
@@ -159,4 +160,218 @@ fn pipelined_run_matches_sequential_log_and_state() {
     assert!(sequential.logs_consistent() && pipelined.logs_consistent());
     assert_eq!(sequential.logs, pipelined.logs);
     assert_eq!(sequential.states, pipelined.states);
+}
+
+/// Memory bound: a long pipelined run keeps per-slot consensus state
+/// pruned — at the end of a 96-command run no replica holds more resident
+/// slot instances than the pipeline depth, and the bounded future-slot
+/// buffer dropped nothing in this honest run.
+#[test]
+fn long_pipelined_run_keeps_resident_slots_bounded() {
+    let outcome = SmrBuilder::new(4, 96)
+        .seed(21)
+        .pipeline_depth(4)
+        .batch_size(2)
+        .workload(ReplicaId(0), put_workload(96))
+        .run();
+    assert!(outcome.logs_consistent());
+    assert_eq!(outcome.logs[0].len(), 96);
+    for (i, &resident) in outcome.resident_slots.iter().enumerate() {
+        assert!(
+            resident <= 4,
+            "replica {i} holds {resident} resident slots after the run \
+             (pipeline depth 4) — decided slots must be pruned"
+        );
+    }
+    assert_eq!(
+        outcome.dropped_messages.iter().sum::<u64>(),
+        0,
+        "honest runs must not hit the future-buffer drop path"
+    );
+}
+
+/// Acceptance: a live 4-replica TCP cluster serves commands submitted
+/// through `SmrClient` — including a leader redirect (the client starts
+/// at a follower) and a retried request id (applied exactly once) — and
+/// every replica applies the identical log.
+#[test]
+fn live_cluster_serves_clients_with_redirect_and_retry() {
+    let cluster = LiveSmrBuilder::new(4)
+        .seed(77)
+        .pipeline_depth(4)
+        .batch_size(4)
+        .start()
+        .expect("cluster boots");
+
+    // Start at replica 2 (a follower): the first submission must bounce
+    // off a redirect before landing on the leader.
+    let mut client = cluster.client(9).leader_hint(2);
+    client.put("x", "1").expect("applied");
+    client.put("y", "2").expect("applied");
+    client.delete("x").expect("applied");
+    assert!(client.redirects() >= 1, "no redirect was exercised");
+
+    // Retry the last request id: acknowledged, not re-executed.
+    client.retry_last().expect("acknowledged");
+    assert!(client.retries() >= 1);
+
+    let reports = cluster.shutdown();
+    assert_eq!(reports.len(), 4);
+    let first = &reports[0];
+    assert!(
+        reports.iter().all(|r| r.log == first.log),
+        "replica logs diverged: {:?}",
+        reports.iter().map(|r| r.log.len()).collect::<Vec<_>>()
+    );
+    assert!(reports.iter().all(|r| r.state == first.state));
+    // Exactly-once despite the retry: three operations executed.
+    assert_eq!(first.state.applied(), 3);
+    assert_eq!(first.state.get("y"), Some("2"));
+    assert_eq!(first.state.get("x"), None);
+    // Slot state was pruned as the log advanced.
+    assert!(reports.iter().all(|r| r.resident_slots <= 4));
+}
+
+/// A duplicate request frame racing its original through consensus may be
+/// *ordered* twice but must be *executed* once: the replicated dedup is
+/// part of the state machine, so every replica skips the duplicate
+/// identically.
+#[test]
+fn duplicate_request_id_executes_exactly_once() {
+    use probft::runtime::{write_frame, SmrFrame};
+    use probft::smr::RequestId;
+    use probft_core::wire::Wire;
+    use std::net::TcpStream;
+
+    let cluster = LiveSmrBuilder::new(4)
+        .seed(31)
+        .batch_size(4)
+        .start()
+        .expect("cluster boots");
+
+    // Raw client: send the same request id twice back-to-back to the
+    // leader (replica 0) before reading any reply, so both copies can
+    // enter the pending queue and be decided.
+    let request = RequestId { client: 5, seq: 1 };
+    let frame = SmrFrame::Request {
+        request,
+        cmd: Command::Put {
+            key: "dup".into(),
+            value: "once".into(),
+        },
+    }
+    .to_wire_bytes();
+    let mut conn = TcpStream::connect(cluster.addrs()[0]).expect("connect");
+    write_frame(&mut conn, &frame).expect("first copy");
+    write_frame(&mut conn, &frame).expect("second copy");
+
+    // Wait for the applied reply (at least one arrives post-apply).
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("timeout");
+    let reply = probft::runtime::read_frame(&mut std::io::BufReader::new(&mut conn))
+        .expect("reply frame")
+        .expect("not EOF");
+    assert!(matches!(
+        SmrFrame::from_wire_bytes(&reply),
+        Ok(SmrFrame::Reply(probft::runtime::SmrReply::Applied { request: r })) if r == request
+    ));
+
+    let reports = cluster.shutdown();
+    let first = &reports[0];
+    assert!(reports.iter().all(|r| r.log == first.log));
+    assert!(reports.iter().all(|r| r.state == first.state));
+    assert_eq!(
+        first.state.applied(),
+        1,
+        "duplicate request id must execute exactly once (log held {} entries)",
+        first.log.len()
+    );
+    assert_eq!(first.state.get("dup"), Some("once"));
+}
+
+/// Torn and garbage client frames must not panic a replica's reader
+/// thread or wedge the cluster: after a rogue client sends malformed
+/// bytes and disconnects mid-frame, a well-behaved client still gets its
+/// command applied.
+#[test]
+fn torn_client_frames_do_not_wedge_the_cluster() {
+    use probft::runtime::write_frame;
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    let cluster = LiveSmrBuilder::new(4).seed(53).start().expect("boots");
+
+    // Garbage frame (undecodable), then a torn frame (half a length
+    // prefix, then disconnect) against two different replicas.
+    let mut rogue = TcpStream::connect(cluster.addrs()[0]).expect("connect");
+    write_frame(&mut rogue, &[0xDE, 0xAD, 0xBE, 0xEF]).expect("garbage");
+    let mut torn = TcpStream::connect(cluster.addrs()[1]).expect("connect");
+    torn.write_all(&[0, 0]).expect("half a prefix");
+    drop(torn);
+    drop(rogue);
+
+    let mut client = cluster.client(2);
+    client.put("alive", "yes").expect("cluster still serves");
+
+    let stats = cluster.stats();
+    let reports = cluster.shutdown();
+    assert!(reports.iter().all(|r| r.state.get("alive") == Some("yes")));
+    assert!(
+        stats.malformed_frames() >= 1,
+        "garbage frame must be counted"
+    );
+    assert!(stats.torn_frames() >= 1, "torn frame must be counted");
+}
+
+mod live_matches_sim {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// The live TCP cluster orders a random command set into exactly
+        /// the log a simulated run produces for the same commands: the
+        /// client-submitted sequence, in submission order, on every
+        /// replica — real sockets change the substrate, not the contract.
+        #[test]
+        fn live_log_equals_simulated_log(entries in proptest::collection::vec((0u8..2, 0u8..4, ".{1,8}"), 1..10)) {
+            let commands: Vec<Command> = entries
+                .into_iter()
+                .map(|(which, key, value)| match which {
+                    0 => Command::Put { key: format!("k{key}"), value },
+                    _ => Command::Delete { key: format!("k{key}") },
+                })
+                .collect();
+
+            // Live run: one sequential client, so submission order is the
+            // expected log order.
+            let cluster = LiveSmrBuilder::new(4)
+                .seed(5)
+                .batch_size(2)
+                .start()
+                .expect("cluster boots");
+            let mut client = cluster.client(1);
+            for cmd in &commands {
+                client.submit(cmd.clone()).expect("applied");
+            }
+            let reports = cluster.shutdown();
+            prop_assert!(reports.windows(2).all(|w| w[0].log == w[1].log));
+            prop_assert!(reports.windows(2).all(|w| w[0].state == w[1].state));
+            let live_ops: Vec<Command> =
+                reports[0].log.iter().map(|c| c.op().clone()).collect();
+
+            // Simulated run of the same command set.
+            let sim = SmrBuilder::new(4, commands.len())
+                .seed(5)
+                .batch_size(2)
+                .workload(ReplicaId(0), commands.clone())
+                .run();
+            prop_assert!(sim.logs_consistent());
+            let sim_log = sim.agreed_log().expect("consistent").to_vec();
+
+            prop_assert_eq!(&live_ops, &sim_log);
+            prop_assert_eq!(&live_ops, &commands);
+        }
+    }
 }

@@ -1,22 +1,27 @@
-//! Live SMR throughput over real sockets — committed commands per second.
+//! Live SMR throughput over real sockets — committed operations per
+//! second, for write-only and mixed read/write workloads.
 //!
 //! Boots an n-replica SMR cluster on loopback TCP and drives it with
-//! concurrent clients, each submitting PUT commands back-to-back through
-//! the real client path (leader routing, post-apply replies). Reports
-//! committed cmds/s measured wall-clock from first submission to last
-//! apply confirmation, then verifies every replica holds the identical
-//! log.
+//! concurrent clients through the real client path (leader routing,
+//! post-apply typed replies). The default workload is back-to-back PUTs;
+//! with `--read-pct P`, each grid point additionally runs one mixed
+//! workload per consistency tier — P% of each client's operations are
+//! GETs served at that tier (`local` and `leader` reads bypass consensus;
+//! `linearizable` reads are ordered through the log) — so the per-tier
+//! rows make the cost ladder directly comparable. Reports ops/s measured
+//! wall-clock from first submission to last confirmation, then verifies
+//! every replica holds the identical log.
 //!
 //! ```text
-//! cargo run -p probft-bench --release --bin live_smr [-- --smoke]
+//! cargo run -p probft-bench --release --bin live_smr [-- --smoke] [--read-pct P]
 //! ```
 //!
 //! `--smoke` runs one small configuration (used by CI to keep the live
-//! client path exercised end to end).
+//! client and read paths exercised end to end).
 
 use probft_bench::print_row;
-use probft_runtime::LiveSmrBuilder;
-use probft_smr::Command;
+use probft_runtime::{LiveSmrBuilder, SmrClient};
+use probft_smr::{Command, Consistency, KvStore};
 use std::thread;
 use std::time::Instant;
 
@@ -27,8 +32,57 @@ struct GridPoint {
     batch: usize,
 }
 
+/// The read/write mix one row runs: no reads, or P% reads at one tier.
+#[derive(Clone, Copy)]
+enum Mix {
+    WritesOnly,
+    Reads { pct: u32, level: Consistency },
+}
+
+impl Mix {
+    fn label(&self) -> String {
+        match self {
+            Mix::WritesOnly => "writes".into(),
+            Mix::Reads { pct, level } => format!("{pct}% {level}"),
+        }
+    }
+
+    /// Whether operation `i` is a read (Bresenham spacing: exactly
+    /// ⌊total·pct/100⌋ reads, evenly interleaved with the writes).
+    fn is_read(&self, i: usize) -> bool {
+        match self {
+            Mix::WritesOnly => false,
+            Mix::Reads { pct, .. } => {
+                let pct = *pct as usize;
+                (i + 1) * pct / 100 > i * pct / 100
+            }
+        }
+    }
+}
+
+fn parse_read_pct() -> Option<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--read-pct")?;
+    let value = args
+        .get(i + 1)
+        .unwrap_or_else(|| die("--read-pct requires a value (0-100)"));
+    let pct: u32 = value
+        .parse()
+        .unwrap_or_else(|_| die(&format!("--read-pct: not a number: {value:?}")));
+    if pct > 100 {
+        die(&format!("--read-pct: {pct} is out of range (0-100)"));
+    }
+    Some(pct)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let read_pct = parse_read_pct();
     let grid: Vec<GridPoint> = if smoke {
         vec![GridPoint {
             n: 4,
@@ -65,84 +119,118 @@ fn main() {
         ]
     };
 
+    let mut mixes = vec![Mix::WritesOnly];
+    if let Some(pct) = read_pct {
+        for level in Consistency::all() {
+            mixes.push(Mix::Reads { pct, level });
+        }
+    }
+
     println!(
-        "Live SMR throughput — real TCP sockets, real clients{}\n",
-        if smoke { " (smoke)" } else { "" }
+        "Live SMR throughput — real TCP sockets, real clients{}{}\n",
+        if smoke { " (smoke)" } else { "" },
+        match read_pct {
+            Some(pct) => format!(", mixed workload at {pct}% reads per tier"),
+            None => String::new(),
+        },
     );
     print_row(
         "n×clients×batch",
         &[
-            "commands".into(),
+            "workload".into(),
+            "ops".into(),
             "wall ms".into(),
-            "cmds/s".into(),
+            "ops/s".into(),
             "redirects".into(),
             "retries".into(),
         ],
     );
 
-    for point in grid {
-        let cluster = LiveSmrBuilder::new(point.n)
-            .seed(42)
-            .pipeline_depth(4)
-            .batch_size(point.batch)
-            .start()
-            .expect("cluster boots");
-        let addrs = cluster.addrs().to_vec();
-        let total = point.clients * point.per_client;
-
-        let start = Instant::now();
-        let workers: Vec<_> = (0..point.clients)
-            .map(|c| {
-                let addrs = addrs.clone();
-                let per_client = point.per_client;
-                thread::spawn(move || {
-                    let mut client =
-                        probft_runtime::SmrClient::new(addrs, c as u64 + 1).leader_hint(c);
-                    for i in 0..per_client {
-                        client
-                            .submit(Command::Put {
-                                key: format!("c{c}-k{i}"),
-                                value: format!("v{i}"),
-                            })
-                            .expect("command applies");
-                    }
-                    (client.redirects(), client.retries())
-                })
-            })
-            .collect();
-
-        let mut redirects = 0;
-        let mut retries = 0;
-        for worker in workers {
-            let (r, t) = worker.join().expect("client thread");
-            redirects += r;
-            retries += t;
+    for point in &grid {
+        for mix in &mixes {
+            run_row(point, *mix);
         }
-        let elapsed = start.elapsed();
-
-        let reports = cluster.shutdown();
-        assert!(
-            reports.windows(2).all(|w| w[0].log == w[1].log),
-            "replica logs diverged"
-        );
-        assert!(
-            reports[0].state.applied() >= total as u64,
-            "applied {} of {total} commands",
-            reports[0].state.applied(),
-        );
-
-        let secs = elapsed.as_secs_f64().max(1e-9);
-        print_row(
-            &format!("{} × {} × {}", point.n, point.clients, point.batch),
-            &[
-                total.to_string(),
-                format!("{:.1}", secs * 1000.0),
-                format!("{:.0}", total as f64 / secs),
-                redirects.to_string(),
-                retries.to_string(),
-            ],
-        );
     }
 
-    println!("\nEvery row: identical logs on all replicas, replies sent post-apply.");
+    println!(
+        "\nEvery row: identical logs on all replicas, typed replies sent \
+         post-apply; local/leader reads served off applied state without \
+         touching consensus."
+    );
+}
+
+fn run_row(point: &GridPoint, mix: Mix) {
+    let cluster = LiveSmrBuilder::new(point.n)
+        .seed(42)
+        .pipeline_depth(4)
+        .batch_size(point.batch)
+        .start()
+        .expect("cluster boots");
+    let addrs = cluster.addrs().to_vec();
+    let total = point.clients * point.per_client;
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..point.clients)
+        .map(|c| {
+            let addrs = addrs.clone();
+            let per_client = point.per_client;
+            thread::spawn(move || {
+                let mut client = SmrClient::<KvStore>::new(addrs, c as u64 + 1).leader_hint(c);
+                let mut writes = 0usize;
+                for i in 0..per_client {
+                    if let (true, Mix::Reads { level, .. }) = (mix.is_read(i), mix) {
+                        // Read back the most recently written key (or one
+                        // not yet written — staleness is allowed at the
+                        // cheap tiers and `None` is a valid answer).
+                        let key = format!("c{c}-k{}", writes.saturating_sub(1));
+                        client.get(&key, level).expect("read answered");
+                    } else {
+                        client
+                            .submit(Command::Put {
+                                key: format!("c{c}-k{writes}"),
+                                value: format!("v{writes}"),
+                            })
+                            .expect("command applies");
+                        writes += 1;
+                    }
+                }
+                (client.redirects(), client.retries(), writes)
+            })
+        })
+        .collect();
+
+    let mut redirects = 0;
+    let mut retries = 0;
+    let mut writes = 0;
+    for worker in workers {
+        let (r, t, w) = worker.join().expect("client thread");
+        redirects += r;
+        retries += t;
+        writes += w;
+    }
+    let elapsed = start.elapsed();
+
+    let reports = cluster.shutdown();
+    assert!(
+        reports.windows(2).all(|w| w[0].log == w[1].log),
+        "replica logs diverged"
+    );
+    assert!(
+        reports[0].state.applied() >= writes as u64,
+        "applied {} of {writes} writes",
+        reports[0].state.applied(),
+    );
+
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    print_row(
+        &format!("{} × {} × {}", point.n, point.clients, point.batch),
+        &[
+            mix.label(),
+            total.to_string(),
+            format!("{:.1}", secs * 1000.0),
+            format!("{:.0}", total as f64 / secs),
+            redirects.to_string(),
+            retries.to_string(),
+        ],
+    );
 }

@@ -10,9 +10,13 @@
 //!
 //! Two cluster shapes are provided: [`ClusterBuilder`] runs one single-shot
 //! consensus instance to decision, and [`LiveSmrBuilder`] runs full
-//! state-machine replication — pipelined, batched `SmrNode`s served by a
-//! real client front-end ([`SmrClient`]) with leader routing, redirects,
-//! retries, and at-most-once execution of retried request ids.
+//! state-machine replication of any
+//! [`StateMachine`](probft_smr::StateMachine) — pipelined, batched
+//! `SmrNode`s served by a real client front-end ([`SmrClient`]) with
+//! typed responses, leader routing, address-carrying redirects, retries,
+//! at-most-once execution of retried request ids, and a three-tier read
+//! path (`Local` / `Leader` reads bypass consensus; `Linearizable` reads
+//! are ordered through the log).
 //!
 //! `tokio` is not available in this offline build environment (see
 //! DESIGN.md, "Substitutions"); the thread-per-replica design over

@@ -1,16 +1,29 @@
 //! Live TCP state-machine replication: [`SmrNode`] driven by real sockets.
 //!
 //! Each replica thread hosts the same pipelined, batched [`SmrNode`] that
-//! runs in the simulator, but its slot-tagged consensus traffic travels as
-//! [`SmrFrame::Peer`] frames over loopback TCP and its commands come from
-//! real clients instead of a prebuilt workload: an [`SmrFrame::Request`]
-//! carries a client command plus its [`RequestId`], the node feeds it into
-//! the pending queue (demand-driven slot opening, so batching operates on
-//! what actually arrived), and once the command reaches the applied log
-//! the replica answers with [`SmrFrame::Reply`]. Non-leaders redirect the
-//! client to the leader they currently observe; retried request ids are
-//! deduplicated inside the replicated state machine, so submissions stay
-//! at-most-once across redirects, reconnects, and view changes.
+//! runs in the simulator — generic over the replicated [`StateMachine`] —
+//! but its slot-tagged consensus traffic travels as [`SmrFrame::Peer`]
+//! frames over loopback TCP and its operations come from real clients
+//! instead of a prebuilt workload: an [`SmrFrame::Request`] carries a
+//! client operation plus its [`RequestId`], the node feeds it into the
+//! pending queue (demand-driven slot opening, so batching operates on what
+//! actually arrived), and once the operation reaches the applied log the
+//! replica answers with an [`SmrReply::Applied`] carrying the machine's
+//! *typed response*. Non-leaders redirect the client to the leader they
+//! currently observe (id *and* address, taken from the redirecting
+//! replica's current view, not the view-1 fallback); retried request ids
+//! are deduplicated inside the replicated state machine and answered from
+//! its reply cache, so submissions stay at-most-once across redirects,
+//! reconnects, and view changes.
+//!
+//! Reads have their own consensus-bypassing frames:
+//! [`SmrFrame::ReadRequest`] is evaluated against the contacted replica's
+//! applied state ([`Consistency::Local`] — any replica, possibly stale;
+//! [`Consistency::Leader`] — only the replica that believes it leads,
+//! redirecting otherwise) and answered with [`SmrFrame::ReadReply`].
+//! [`Consistency::Linearizable`] reads never use these frames: the client
+//! submits them as ordered read entries through the normal request path,
+//! paying one consensus round for a log-ordered observation.
 
 use crate::cluster::{
     bind_listeners, connect_peer, reap_finished, tick_to_duration, ClusterError, TransportStats,
@@ -24,7 +37,10 @@ use probft_crypto::schnorr::SigningKey;
 use probft_quorum::ReplicaId;
 use probft_simnet::process::{Action, Context, Process, ProcessId, TimerToken};
 use probft_simnet::time::{SimDuration, SimTime};
-use probft_smr::{Command, KvStore, RequestId, SlotMessage, SmrNode, SmrSettings};
+use probft_smr::node::SmrNode;
+use probft_smr::{
+    Consistency, Entry, KvStore, OpKind, RequestId, SlotMessage, SmrSettings, StateMachine,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -35,10 +51,11 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// One frame of the live SMR wire protocol. Self-describing, so replicas
-/// and clients share a single listener port.
+/// One frame of the live SMR wire protocol, typed by the replicated
+/// [`StateMachine`]. Self-describing, so replicas and clients share a
+/// single listener port.
 #[derive(Clone, Debug, PartialEq)]
-pub enum SmrFrame {
+pub enum SmrFrame<S: StateMachine> {
     /// Replica-to-replica consensus traffic for one log slot.
     Peer {
         /// Sending replica id (the replica's own signatures are what is
@@ -47,32 +64,66 @@ pub enum SmrFrame {
         /// The slot-tagged consensus message.
         msg: SlotMessage,
     },
-    /// Client-to-replica command submission.
+    /// Client-to-replica submission of an operation to be *ordered*
+    /// through the log: a write, or a linearizable read (`kind`
+    /// distinguishes them — read entries are applied via `query` and
+    /// never mutate the machine).
     Request {
         /// The client's unique id for this submission (retries reuse it).
         request: RequestId,
+        /// Whether the operation mutates state or is a log-ordered read.
+        kind: OpKind,
         /// The operation to order.
-        cmd: Command,
+        op: S::Op,
     },
-    /// Replica-to-client outcome.
-    Reply(SmrReply),
+    /// Replica-to-client outcome of a [`Request`](Self::Request).
+    Reply(SmrReply<S::Response>),
+    /// Client-to-replica read served off the replica's applied state,
+    /// bypassing consensus ([`Consistency::Local`] and
+    /// [`Consistency::Leader`] tiers).
+    ReadRequest {
+        /// Reply-matching id (reads are not deduplicated — they execute
+        /// nothing — but replies must find their way back).
+        request: RequestId,
+        /// The tier the client demands.
+        consistency: Consistency,
+        /// The read operation to evaluate.
+        op: S::Op,
+    },
+    /// Replica-to-client answer to a consensus-bypassing read.
+    ReadReply {
+        /// The read this answers.
+        request: RequestId,
+        /// The machine's typed response, evaluated between whole-batch
+        /// applies (never torn).
+        response: S::Response,
+    },
 }
 
 /// A replica's answer to a client submission.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SmrReply {
-    /// The command reached the replicated log and was applied (or was
-    /// recognised as an already-applied retry). Sent only after apply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SmrReply<R> {
+    /// The operation reached the replicated log and was applied (or was
+    /// recognised as an already-applied retry and answered from the
+    /// reply cache). Sent only after apply, carrying the typed result.
     Applied {
         /// The request this reply answers.
         request: RequestId,
+        /// What the operation returned when it executed.
+        response: R,
     },
-    /// This replica is not the leader; resubmit to `leader`.
+    /// This replica is not the leader; resubmit to the named replica.
+    /// The hint reflects the redirecting replica's *current* view (the
+    /// view its latest applied slot decided in), so after a view change
+    /// even an idle replica points at the new leader.
     Redirect {
         /// The request this reply answers.
         request: RequestId,
-        /// The replica currently believed to lead.
+        /// The replica currently believed to lead, by id.
         leader: u32,
+        /// The same replica's listening address — the authoritative hint,
+        /// valid even if the client orders its address list differently.
+        addr: SocketAddr,
     },
 }
 
@@ -86,8 +137,33 @@ const FRAME_PEER: u8 = 1;
 const FRAME_REQUEST: u8 = 2;
 const FRAME_APPLIED: u8 = 3;
 const FRAME_REDIRECT: u8 = 4;
+const FRAME_READ_REQUEST: u8 = 5;
+const FRAME_READ_REPLY: u8 = 6;
 
-impl Wire for SmrFrame {
+fn encode_addr(out: &mut Vec<u8>, addr: &SocketAddr) {
+    put::var_bytes(out, addr.to_string().as_bytes());
+}
+
+fn decode_addr(r: &mut Reader<'_>) -> Result<SocketAddr, WireError> {
+    std::str::from_utf8(r.var_bytes()?)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(WireError::BadCrypto("socket address"))
+}
+
+fn encode_request(out: &mut Vec<u8>, request: RequestId) {
+    put::u64(out, request.client);
+    put::u64(out, request.seq);
+}
+
+fn decode_request(r: &mut Reader<'_>) -> Result<RequestId, WireError> {
+    Ok(RequestId {
+        client: r.u64()?,
+        seq: r.u64()?,
+    })
+}
+
+impl<S: StateMachine> Wire for SmrFrame<S> {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
             SmrFrame::Peer { from, msg } => {
@@ -95,56 +171,87 @@ impl Wire for SmrFrame {
                 put::u32(out, *from);
                 msg.encode(out);
             }
-            SmrFrame::Request { request, cmd } => {
+            SmrFrame::Request { request, kind, op } => {
                 out.push(FRAME_REQUEST);
-                put::u64(out, request.client);
-                put::u64(out, request.seq);
-                cmd.encode(out);
+                encode_request(out, *request);
+                kind.encode(out);
+                op.encode(out);
             }
-            SmrFrame::Reply(SmrReply::Applied { request }) => {
+            SmrFrame::Reply(SmrReply::Applied { request, response }) => {
                 out.push(FRAME_APPLIED);
-                put::u64(out, request.client);
-                put::u64(out, request.seq);
+                encode_request(out, *request);
+                response.encode(out);
             }
-            SmrFrame::Reply(SmrReply::Redirect { request, leader }) => {
+            SmrFrame::Reply(SmrReply::Redirect {
+                request,
+                leader,
+                addr,
+            }) => {
                 out.push(FRAME_REDIRECT);
-                put::u64(out, request.client);
-                put::u64(out, request.seq);
+                encode_request(out, *request);
                 put::u32(out, *leader);
+                encode_addr(out, addr);
+            }
+            SmrFrame::ReadRequest {
+                request,
+                consistency,
+                op,
+            } => {
+                out.push(FRAME_READ_REQUEST);
+                encode_request(out, *request);
+                consistency.encode(out);
+                op.encode(out);
+            }
+            SmrFrame::ReadReply { request, response } => {
+                out.push(FRAME_READ_REPLY);
+                encode_request(out, *request);
+                response.encode(out);
             }
         }
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let tag = r.u8()?;
-        match tag {
+        match r.u8()? {
             FRAME_PEER => {
                 let from = r.u32()?;
                 let msg = SlotMessage::decode(r)?;
                 Ok(SmrFrame::Peer { from, msg })
             }
             FRAME_REQUEST => {
-                let request = RequestId {
-                    client: r.u64()?,
-                    seq: r.u64()?,
-                };
-                let cmd = Command::decode(r)?;
-                Ok(SmrFrame::Request { request, cmd })
+                let request = decode_request(r)?;
+                let kind = OpKind::decode(r)?;
+                let op = S::Op::decode(r)?;
+                Ok(SmrFrame::Request { request, kind, op })
             }
             FRAME_APPLIED => {
-                let request = RequestId {
-                    client: r.u64()?,
-                    seq: r.u64()?,
-                };
-                Ok(SmrFrame::Reply(SmrReply::Applied { request }))
+                let request = decode_request(r)?;
+                let response = S::Response::decode(r)?;
+                Ok(SmrFrame::Reply(SmrReply::Applied { request, response }))
             }
             FRAME_REDIRECT => {
-                let request = RequestId {
-                    client: r.u64()?,
-                    seq: r.u64()?,
-                };
+                let request = decode_request(r)?;
                 let leader = r.u32()?;
-                Ok(SmrFrame::Reply(SmrReply::Redirect { request, leader }))
+                let addr = decode_addr(r)?;
+                Ok(SmrFrame::Reply(SmrReply::Redirect {
+                    request,
+                    leader,
+                    addr,
+                }))
+            }
+            FRAME_READ_REQUEST => {
+                let request = decode_request(r)?;
+                let consistency = Consistency::decode(r)?;
+                let op = S::Op::decode(r)?;
+                Ok(SmrFrame::ReadRequest {
+                    request,
+                    consistency,
+                    op,
+                })
+            }
+            FRAME_READ_REPLY => {
+                let request = decode_request(r)?;
+                let response = S::Response::decode(r)?;
+                Ok(SmrFrame::ReadReply { request, response })
             }
             t => Err(WireError::UnknownTag(t)),
         }
@@ -153,14 +260,14 @@ impl Wire for SmrFrame {
 
 /// What one replica held when the cluster was shut down.
 #[derive(Clone, Debug)]
-pub struct ReplicaReport {
+pub struct ReplicaReport<S: StateMachine = KvStore> {
     /// The replica's id.
     pub id: usize,
-    /// Its decided, applied command log (identical across correct
+    /// Its decided, applied entry log (identical across correct
     /// replicas).
-    pub log: Vec<Command>,
+    pub log: Vec<Entry<S::Op>>,
     /// Its application state.
-    pub state: KvStore,
+    pub state: S,
     /// Per-slot consensus instances still heap-resident (bounded by the
     /// pipeline depth — decided slots are pruned on apply).
     pub resident_slots: usize,
@@ -168,8 +275,9 @@ pub struct ReplicaReport {
     pub dropped_messages: u64,
 }
 
-/// Builds a live TCP cluster that serves state-machine replication to
-/// [`SmrClient`](crate::SmrClient)s.
+/// Builds a live TCP cluster that serves state-machine replication of any
+/// [`StateMachine`] to [`SmrClient`](crate::SmrClient)s (default: the
+/// reference [`KvStore`]).
 ///
 /// ```no_run
 /// use probft_runtime::LiveSmrBuilder;
@@ -181,24 +289,35 @@ pub struct ReplicaReport {
 /// assert!(reports.iter().all(|r| r.state.get("greeting") == Some("hello")));
 /// ```
 #[derive(Debug)]
-pub struct LiveSmrBuilder {
+pub struct LiveSmrBuilder<S: StateMachine = KvStore> {
     n: usize,
     seed: u64,
     base_port: Option<u16>,
     pipeline_depth: usize,
     batch_size: usize,
+    _machine: std::marker::PhantomData<S>,
 }
 
-impl LiveSmrBuilder {
-    /// Starts building an `n`-replica live SMR cluster on OS-assigned
+impl LiveSmrBuilder<KvStore> {
+    /// Starts building an `n`-replica live KV cluster on OS-assigned
     /// loopback ports, pipeline depth 4, batch size 8.
     pub fn new(n: usize) -> Self {
+        Self::for_machine(n)
+    }
+}
+
+impl<S: StateMachine> LiveSmrBuilder<S> {
+    /// Starts building an `n`-replica live cluster replicating an
+    /// arbitrary [`StateMachine`]
+    /// (`LiveSmrBuilder::<MyMachine>::for_machine(n)`).
+    pub fn for_machine(n: usize) -> Self {
         LiveSmrBuilder {
             n,
             seed: 1,
             base_port: None,
             pipeline_depth: 4,
             batch_size: 8,
+            _machine: std::marker::PhantomData,
         }
     }
 
@@ -221,7 +340,7 @@ impl LiveSmrBuilder {
         self
     }
 
-    /// Most pending commands the leader packs into one slot's batch.
+    /// Most pending entries the leader packs into one slot's batch.
     pub fn batch_size(mut self, batch: usize) -> Self {
         self.batch_size = batch.max(1);
         self
@@ -232,7 +351,7 @@ impl LiveSmrBuilder {
     /// # Errors
     ///
     /// [`ClusterError::Bind`] if a listener port cannot be bound.
-    pub fn start(self) -> Result<LiveSmrCluster, ClusterError> {
+    pub fn start(self) -> Result<LiveSmrCluster<S>, ClusterError> {
         // A generous base view timeout (250 ms wall time under the
         // tick-is-a-microsecond convention): loopback slots decide in
         // single-digit milliseconds, so view changes fire only on real
@@ -264,7 +383,7 @@ impl LiveSmrBuilder {
             let addrs = addrs.clone();
             let applied_len = applied_lens[i].clone();
             handles.push(thread::spawn(move || {
-                smr_replica_main(
+                smr_replica_main::<S>(
                     i,
                     addrs,
                     listener,
@@ -293,17 +412,17 @@ impl LiveSmrBuilder {
 /// [`shutdown`](Self::shutdown) detaches the replica threads; call
 /// `shutdown` to stop them and collect their final logs and states.
 #[derive(Debug)]
-pub struct LiveSmrCluster {
+pub struct LiveSmrCluster<S: StateMachine = KvStore> {
     addrs: Arc<Vec<SocketAddr>>,
     shutdown: Arc<AtomicBool>,
-    handles: Vec<thread::JoinHandle<ReplicaReport>>,
+    handles: Vec<thread::JoinHandle<ReplicaReport<S>>>,
     stats: Arc<TransportStats>,
     /// Per-replica applied-log lengths, for the quiescence wait at
     /// shutdown.
     applied_lens: Vec<Arc<AtomicU64>>,
 }
 
-impl LiveSmrCluster {
+impl<S: StateMachine> LiveSmrCluster<S> {
     /// The replicas' listening addresses, indexed by replica id.
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
@@ -311,7 +430,7 @@ impl LiveSmrCluster {
 
     /// Creates a client for this cluster. `client_id` must be unique among
     /// concurrently submitting clients — it namespaces request ids.
-    pub fn client(&self, client_id: u64) -> crate::client::SmrClient {
+    pub fn client(&self, client_id: u64) -> crate::client::SmrClient<S> {
         crate::client::SmrClient::new(self.addrs.to_vec(), client_id)
     }
 
@@ -337,7 +456,7 @@ impl LiveSmrCluster {
     /// waits (bounded) for quiescence — every replica at the same applied
     /// length, unchanged for a quiet period — so callers that stopped
     /// submitting observe identical logs everywhere.
-    pub fn shutdown(self) -> Vec<ReplicaReport> {
+    pub fn shutdown(self) -> Vec<ReplicaReport<S>> {
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut stable: Option<(Vec<u64>, Instant)> = None;
         while Instant::now() < deadline {
@@ -354,7 +473,7 @@ impl LiveSmrCluster {
             thread::sleep(Duration::from_millis(5));
         }
         self.shutdown.store(true, Ordering::SeqCst);
-        let mut reports: Vec<ReplicaReport> = self
+        let mut reports: Vec<ReplicaReport<S>> = self
             .handles
             .into_iter()
             .filter_map(|h| h.join().ok())
@@ -365,20 +484,28 @@ impl LiveSmrCluster {
 }
 
 /// Inbound events to a live SMR replica's event loop.
-enum SmrEvent {
+enum SmrEvent<S: StateMachine> {
     /// Consensus traffic from a peer replica.
     Peer(ProcessId, SlotMessage),
-    /// A client submission, with the write half of its connection for the
-    /// eventual reply.
+    /// A client submission to be ordered, with the write half of its
+    /// connection for the eventual reply.
     Request {
         request: RequestId,
-        cmd: Command,
+        kind: OpKind,
+        op: S::Op,
+        reply: Arc<Mutex<TcpStream>>,
+    },
+    /// A consensus-bypassing client read.
+    Read {
+        request: RequestId,
+        consistency: Consistency,
+        op: S::Op,
         reply: Arc<Mutex<TcpStream>>,
     },
 }
 
 #[allow(clippy::too_many_arguments)]
-fn smr_replica_main(
+fn smr_replica_main<S: StateMachine>(
     id: usize,
     addrs: Arc<Vec<SocketAddr>>,
     listener: TcpListener,
@@ -389,16 +516,16 @@ fn smr_replica_main(
     shutdown: Arc<AtomicBool>,
     stats: Arc<TransportStats>,
     applied_len: Arc<AtomicU64>,
-) -> ReplicaReport {
+) -> ReplicaReport<S> {
     let n = addrs.len();
-    let (event_tx, event_rx) = mpsc::channel::<SmrEvent>();
+    let (event_tx, event_rx) = mpsc::channel::<SmrEvent<S>>();
 
-    let mut node = SmrNode::new(
+    let mut node: SmrNode<S> = SmrNode::new(
         cfg,
         ReplicaId::from(id),
         sk,
         public,
-        Vec::new(), // no prebuilt workload: commands arrive from clients
+        Vec::new(), // no prebuilt workload: operations arrive from clients
         settings,
     );
 
@@ -419,7 +546,7 @@ fn smr_replica_main(
                         let shutdown = shutdown.clone();
                         let stats = stats.clone();
                         let handle = thread::spawn(move || {
-                            smr_reader_loop(stream, n, event_tx, shutdown, stats)
+                            smr_reader_loop::<S>(stream, n, event_tx, shutdown, stats)
                         });
                         if let Ok(mut guard) = readers.lock() {
                             reap_finished(&mut guard);
@@ -452,6 +579,12 @@ fn smr_replica_main(
             STEADY_CONNECT_ATTEMPTS
         }
     };
+    // The redirect hint: this replica's current belief about the leader,
+    // as an (id, address) pair taken from its current working view.
+    let leader_hint = |node: &SmrNode<S>| {
+        let leader = node.current_leader();
+        (leader.index() as u32, addrs[leader.index() % n])
+    };
 
     // Start the node (in live mode this opens no slots until traffic
     // arrives).
@@ -461,7 +594,7 @@ fn smr_replica_main(
         node.on_start(&mut ctx);
         ctx.drain_actions()
     };
-    apply_smr_actions(
+    apply_smr_actions::<S>(
         id,
         &addrs,
         actions,
@@ -483,7 +616,7 @@ fn smr_replica_main(
                 node.on_timer(token, &mut ctx);
                 ctx.drain_actions()
             };
-            apply_smr_actions(
+            apply_smr_actions::<S>(
                 id,
                 &addrs,
                 actions,
@@ -507,7 +640,7 @@ fn smr_replica_main(
                     node.on_message(from, msg, &mut ctx);
                     ctx.drain_actions()
                 };
-                apply_smr_actions(
+                apply_smr_actions::<S>(
                     id,
                     &addrs,
                     actions,
@@ -518,36 +651,46 @@ fn smr_replica_main(
             }
             Ok(SmrEvent::Request {
                 request,
-                cmd,
+                kind,
+                op,
                 reply,
             }) => {
                 let leader = node.current_leader();
                 if leader.index() != id {
-                    // Not the leader: point the client at who is.
-                    send_reply(
+                    // Not the leader: point the client at who is, with
+                    // the current-view address.
+                    let (leader, addr) = leader_hint(&node);
+                    send_reply::<S>(
                         &reply,
                         SmrReply::Redirect {
                             request,
-                            leader: leader.index() as u32,
+                            leader,
+                            addr,
                         },
                     );
-                } else if node.request_applied(request) {
-                    // A retry of something already applied: answer
-                    // immediately without re-ordering it (at-most-once).
-                    send_reply(&reply, SmrReply::Applied { request });
+                } else if let Some(response) = node.cached_response(request).cloned() {
+                    // A retry of something already applied: answer from
+                    // the reply cache without re-ordering it
+                    // (at-most-once).
+                    send_reply::<S>(&reply, SmrReply::Applied { request, response });
                 } else {
-                    // Accept: remember who to answer, feed the command
-                    // into the pending queue. Duplicate in-flight retries
-                    // just refresh the reply handle; the decided log's
-                    // dedup keeps execution at-most-once.
+                    // Accept: remember who to answer, feed the entry into
+                    // the pending queue. Duplicate in-flight retries just
+                    // refresh the reply handle; the decided log's dedup
+                    // keeps execution at-most-once.
                     waiting.insert(request, (reply, Instant::now()));
+                    let entry = Entry {
+                        request: Some(request),
+                        kind,
+                        op,
+                    };
                     let actions = {
                         let mut ctx: Context<'_, SlotMessage> =
                             Context::detached(ProcessId(id), now_sim(started), &mut rng);
-                        node.submit(Command::tagged(request, cmd), &mut ctx);
+                        node.submit(entry, &mut ctx);
                         ctx.drain_actions()
                     };
-                    apply_smr_actions(
+                    apply_smr_actions::<S>(
                         id,
                         &addrs,
                         actions,
@@ -557,22 +700,53 @@ fn smr_replica_main(
                     );
                 }
             }
+            // Consensus-bypassing reads only: the reader loop rewrites a
+            // linearizable `ReadRequest` into an ordered `Request` (so it
+            // shares the dedup / reply-cache / waiting-map path above).
+            // A local read is served by any replica; a leader read only
+            // by the replica that believes it leads, redirecting
+            // otherwise — exactly like a write. Queries run here, between
+            // whole-batch applies on this thread, so the observation is
+            // stale-at-worst, never torn.
+            Ok(SmrEvent::Read {
+                request,
+                consistency,
+                op,
+                reply,
+            }) => {
+                if consistency == Consistency::Local || node.current_leader().index() == id {
+                    let response = node.query(&op);
+                    send_read_reply::<S>(&reply, request, response);
+                } else {
+                    let (leader, addr) = leader_hint(&node);
+                    send_reply::<S>(
+                        &reply,
+                        SmrReply::Redirect {
+                            request,
+                            leader,
+                            addr,
+                        },
+                    );
+                }
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
 
-        // Answer every client whose command reached the applied log.
+        // Answer every client whose entry reached the applied log, with
+        // the typed response its operation produced.
         for applied in node.drain_applied() {
             if let Some((reply, _)) = waiting.remove(&applied.request) {
-                send_reply(
+                send_reply::<S>(
                     &reply,
                     SmrReply::Applied {
                         request: applied.request,
+                        response: applied.response,
                     },
                 );
             }
         }
-        // Forget waiters whose command never reached the log (e.g. lost
+        // Forget waiters whose entry never reached the log (e.g. lost
         // to a view change before being re-proposed): past the client's
         // retry budget nobody reads the handle any more, and keeping it
         // would pin the connection forever.
@@ -605,18 +779,30 @@ fn smr_replica_main(
 /// Writes one reply frame to a client connection, ignoring failures (a
 /// vanished client simply never reads its answer; the state machine is
 /// already consistent).
-fn send_reply(conn: &Arc<Mutex<TcpStream>>, reply: SmrReply) {
+fn send_reply<S: StateMachine>(conn: &Arc<Mutex<TcpStream>>, reply: SmrReply<S::Response>) {
     if let Ok(mut stream) = conn.lock() {
-        let _ = write_frame(&mut *stream, &SmrFrame::Reply(reply).to_wire_bytes());
+        let _ = write_frame(&mut *stream, &SmrFrame::<S>::Reply(reply).to_wire_bytes());
+    }
+}
+
+/// Writes one read-reply frame to a client connection.
+fn send_read_reply<S: StateMachine>(
+    conn: &Arc<Mutex<TcpStream>>,
+    request: RequestId,
+    response: S::Response,
+) {
+    if let Ok(mut stream) = conn.lock() {
+        let frame = SmrFrame::<S>::ReadReply { request, response };
+        let _ = write_frame(&mut *stream, &frame.to_wire_bytes());
     }
 }
 
 /// Parses frames off one connection and forwards them as events. Torn,
 /// short, malformed, and oversized input is counted and never panics.
-fn smr_reader_loop(
+fn smr_reader_loop<S: StateMachine>(
     stream: TcpStream,
     n: usize,
-    event_tx: mpsc::Sender<SmrEvent>,
+    event_tx: mpsc::Sender<SmrEvent<S>>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<TransportStats>,
 ) {
@@ -633,7 +819,7 @@ fn smr_reader_loop(
     let mut reader = std::io::BufReader::new(stream);
     while !shutdown.load(Ordering::SeqCst) {
         match read_frame(&mut reader) {
-            Ok(Some(frame)) => match SmrFrame::from_wire_bytes(&frame) {
+            Ok(Some(frame)) => match SmrFrame::<S>::from_wire_bytes(&frame) {
                 Ok(SmrFrame::Peer { from, msg }) if (from as usize) < n => {
                     if event_tx
                         .send(SmrEvent::Peer(ProcessId(from as usize), msg))
@@ -642,11 +828,40 @@ fn smr_reader_loop(
                         return;
                     }
                 }
-                Ok(SmrFrame::Request { request, cmd }) => {
+                Ok(SmrFrame::Request { request, kind, op }) => {
                     let event = SmrEvent::Request {
                         request,
-                        cmd,
+                        kind,
+                        op,
                         reply: reply.clone(),
+                    };
+                    if event_tx.send(event).is_err() {
+                        return;
+                    }
+                }
+                Ok(SmrFrame::ReadRequest {
+                    request,
+                    consistency,
+                    op,
+                }) => {
+                    // A linearizable read *is* an ordered request (a
+                    // read-kind entry): rewrite it here so the event loop
+                    // serves it through the one request path — dedup,
+                    // reply cache, waiting map and all.
+                    let event = if consistency == Consistency::Linearizable {
+                        SmrEvent::Request {
+                            request,
+                            kind: OpKind::Read,
+                            op,
+                            reply: reply.clone(),
+                        }
+                    } else {
+                        SmrEvent::Read {
+                            request,
+                            consistency,
+                            op,
+                            reply: reply.clone(),
+                        }
                     };
                     if event_tx.send(event).is_err() {
                         return;
@@ -654,7 +869,9 @@ fn smr_reader_loop(
                 }
                 // Out-of-range sender ids and replies sent *to* a replica
                 // are malformed input; drop, count, keep the connection.
-                Ok(SmrFrame::Peer { .. }) | Ok(SmrFrame::Reply(_)) => stats.note_malformed(),
+                Ok(SmrFrame::Peer { .. })
+                | Ok(SmrFrame::Reply(_))
+                | Ok(SmrFrame::ReadReply { .. }) => stats.note_malformed(),
                 Err(_) => stats.note_malformed(),
             },
             Ok(None) => return, // clean close at a frame boundary
@@ -680,7 +897,7 @@ fn smr_reader_loop(
 /// timer heap. `connect_attempts` distinguishes the boot window (retry
 /// while peers come up) from steady state (fail fast so a dead replica
 /// cannot stall the event loop on every send).
-fn apply_smr_actions(
+fn apply_smr_actions<S: StateMachine>(
     id: usize,
     addrs: &[SocketAddr],
     actions: Vec<Action<SlotMessage>>,
@@ -694,7 +911,7 @@ fn apply_smr_actions(
                 if to.index() >= addrs.len() {
                     continue;
                 }
-                let frame = SmrFrame::Peer {
+                let frame = SmrFrame::<S>::Peer {
                     from: id as u32,
                     msg,
                 }
@@ -717,6 +934,7 @@ fn apply_smr_actions(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use probft_smr::{Command, KvResponse};
 
     fn sample_request() -> RequestId {
         RequestId { client: 3, seq: 9 }
@@ -724,36 +942,71 @@ mod tests {
 
     #[test]
     fn frame_round_trips() {
-        let frames = [
+        let frames: Vec<SmrFrame<KvStore>> = vec![
             SmrFrame::Request {
                 request: sample_request(),
-                cmd: Command::Put {
+                kind: OpKind::Write,
+                op: Command::Put {
                     key: "k".into(),
                     value: "v".into(),
                 },
             },
+            SmrFrame::Request {
+                request: sample_request(),
+                kind: OpKind::Read,
+                op: Command::Get { key: "k".into() },
+            },
             SmrFrame::Reply(SmrReply::Applied {
                 request: sample_request(),
+                response: KvResponse::Prev(Some("old".into())),
             }),
             SmrFrame::Reply(SmrReply::Redirect {
                 request: sample_request(),
                 leader: 2,
+                addr: "127.0.0.1:4242".parse().unwrap(),
             }),
+            SmrFrame::ReadRequest {
+                request: sample_request(),
+                consistency: Consistency::Local,
+                op: Command::Get { key: "k".into() },
+            },
+            SmrFrame::ReadRequest {
+                request: sample_request(),
+                consistency: Consistency::Leader,
+                op: Command::Get { key: "k".into() },
+            },
+            SmrFrame::ReadReply {
+                request: sample_request(),
+                response: KvResponse::Value(None),
+            },
         ];
         for frame in frames {
             let bytes = frame.to_wire_bytes();
-            assert_eq!(SmrFrame::from_wire_bytes(&bytes).unwrap(), frame);
+            assert_eq!(SmrFrame::<KvStore>::from_wire_bytes(&bytes).unwrap(), frame);
         }
     }
 
     #[test]
     fn garbage_frames_rejected() {
-        assert!(SmrFrame::from_wire_bytes(&[]).is_err());
-        assert!(SmrFrame::from_wire_bytes(&[0xFF, 1, 2, 3]).is_err());
+        assert!(SmrFrame::<KvStore>::from_wire_bytes(&[]).is_err());
+        assert!(SmrFrame::<KvStore>::from_wire_bytes(&[0xFF, 1, 2, 3]).is_err());
         // A peer frame with a truncated slot message.
         let mut bytes = vec![FRAME_PEER];
         put::u32(&mut bytes, 0);
         put::u64(&mut bytes, 7);
-        assert!(SmrFrame::from_wire_bytes(&bytes).is_err());
+        assert!(SmrFrame::<KvStore>::from_wire_bytes(&bytes).is_err());
+        // A read request with a bad consistency tag.
+        let mut bytes = vec![FRAME_READ_REQUEST];
+        put::u64(&mut bytes, 3);
+        put::u64(&mut bytes, 9);
+        bytes.push(7); // no such tier
+        assert!(SmrFrame::<KvStore>::from_wire_bytes(&bytes).is_err());
+        // A redirect whose address bytes are not an address.
+        let mut bytes = vec![FRAME_REDIRECT];
+        put::u64(&mut bytes, 3);
+        put::u64(&mut bytes, 9);
+        put::u32(&mut bytes, 1);
+        put::var_bytes(&mut bytes, b"not-an-addr");
+        assert!(SmrFrame::<KvStore>::from_wire_bytes(&bytes).is_err());
     }
 }

@@ -1,6 +1,7 @@
 //! Harness for replicated-state-machine experiments.
 
-use crate::command::Command;
+use crate::kv::KvStore;
+use crate::machine::{Entry, StateMachine};
 use crate::node::{SmrNode, SmrSettings};
 use probft_core::config::{ProbftConfig, SharedConfig};
 use probft_crypto::keyring::Keyring;
@@ -13,21 +14,30 @@ use probft_simnet::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Builds and runs an SMR cluster ordering a shared workload.
+/// Builds and runs an SMR cluster ordering a shared workload against any
+/// [`StateMachine`] (the default is the reference [`KvStore`]).
 #[derive(Debug)]
-pub struct SmrBuilder {
+pub struct SmrBuilder<S: StateMachine = KvStore> {
     n: usize,
     seed: u64,
-    workloads: BTreeMap<ReplicaId, Vec<Command>>,
+    workloads: BTreeMap<ReplicaId, Vec<S::Op>>,
     settings: SmrSettings,
     max_events: u64,
 }
 
-impl SmrBuilder {
-    /// Starts building an `n`-replica cluster that stops after
-    /// `target_len` commands are applied everywhere. Defaults to a
-    /// pipeline depth of 4 and one command per batch.
+impl SmrBuilder<KvStore> {
+    /// Starts building an `n`-replica KV cluster that stops after
+    /// `target_len` entries are applied everywhere. Defaults to a
+    /// pipeline depth of 4 and one entry per batch.
     pub fn new(n: usize, target_len: usize) -> Self {
+        Self::for_machine(n, target_len)
+    }
+}
+
+impl<S: StateMachine> SmrBuilder<S> {
+    /// Starts building an `n`-replica cluster replicating an arbitrary
+    /// [`StateMachine`] `S` (`SmrBuilder::<MyMachine>::for_machine(..)`).
+    pub fn for_machine(n: usize, target_len: usize) -> Self {
         SmrBuilder {
             n,
             seed: 0,
@@ -54,20 +64,27 @@ impl SmrBuilder {
         self
     }
 
-    /// Sets how many pending commands a proposer packs per slot.
+    /// Sets how many pending entries a proposer packs per slot.
     pub fn batch_size(mut self, batch: usize) -> Self {
         self.settings.batch_size = batch.max(1);
         self
     }
 
-    /// Queues `commands` at replica `id` (proposed when it leads a slot).
-    pub fn workload(mut self, id: ReplicaId, commands: Vec<Command>) -> Self {
-        self.workloads.insert(id, commands);
+    /// Queues `ops` at replica `id` (proposed when it leads a slot).
+    pub fn workload(mut self, id: ReplicaId, ops: Vec<S::Op>) -> Self {
+        self.workloads.insert(id, ops);
         self
     }
 
-    /// Runs the cluster until every replica applied `target_len` commands.
-    pub fn run(self) -> SmrOutcome {
+    /// Runs the cluster until every replica applied `target_len` entries.
+    ///
+    /// The target must not exceed the workload queued at the replica
+    /// that leads view 1 (replica 0): slots with nothing pending decide
+    /// *empty* batches, which keep the pipeline moving but never grow
+    /// the log, and in a healthy run no other replica's queue is ever
+    /// proposed — an over-sized target burns the whole event budget
+    /// without completing.
+    pub fn run(self) -> SmrOutcome<S> {
         let cfg: SharedConfig = Arc::new(
             ProbftConfig::builder(self.n)
                 .base_timeout(SimDuration::from_ticks(50_000))
@@ -78,7 +95,7 @@ impl SmrBuilder {
 
         let network =
             PartialSynchrony::synchronous(SimDuration::from_ticks(1), SimDuration::from_ticks(100));
-        let mut sim: Simulation<SmrNode> = Simulation::new(network, self.seed);
+        let mut sim: Simulation<SmrNode<S>> = Simulation::new(network, self.seed);
         for i in 0..self.n {
             let id = ReplicaId::from(i);
             let workload = self.workloads.get(&id).cloned().unwrap_or_default();
@@ -94,13 +111,13 @@ impl SmrBuilder {
 
         let n = self.n;
         let all_done =
-            move |s: &Simulation<SmrNode>| (0..n).all(|i| s.process(ProcessId(i)).done());
+            move |s: &Simulation<SmrNode<S>>| (0..n).all(|i| s.process(ProcessId(i)).done());
         let run_outcome = sim.run_until_condition(all_done, self.max_events);
 
-        let logs: Vec<Vec<Command>> = (0..self.n)
+        let logs: Vec<Vec<Entry<S::Op>>> = (0..self.n)
             .map(|i| sim.process(ProcessId(i)).log().to_vec())
             .collect();
-        let states: Vec<crate::command::KvStore> = (0..self.n)
+        let states: Vec<S> = (0..self.n)
             .map(|i| sim.process(ProcessId(i)).state().clone())
             .collect();
         let resident_slots: Vec<usize> = (0..self.n)
@@ -135,11 +152,11 @@ impl SmrBuilder {
 
 /// Result of an SMR run.
 #[derive(Clone, Debug)]
-pub struct SmrOutcome {
-    /// Per-replica decided command logs.
-    pub logs: Vec<Vec<Command>>,
+pub struct SmrOutcome<S: StateMachine = KvStore> {
+    /// Per-replica decided entry logs.
+    pub logs: Vec<Vec<Entry<S::Op>>>,
     /// Per-replica final application states.
-    pub states: Vec<crate::command::KvStore>,
+    pub states: Vec<S>,
     /// Per-replica count of consensus instances still heap-resident at the
     /// end of the run (bounded by the pipeline depth: applied slots are
     /// pruned).
@@ -157,7 +174,7 @@ pub struct SmrOutcome {
     pub run_outcome: RunOutcome,
 }
 
-impl SmrOutcome {
+impl<S: StateMachine> SmrOutcome<S> {
     /// Whether all replicas hold identical logs (prefix equality over the
     /// common length is the SMR safety property; full equality holds here
     /// because the run stops at a fixed target length).
@@ -171,7 +188,7 @@ impl SmrOutcome {
     }
 
     /// The agreed log, if consistent.
-    pub fn agreed_log(&self) -> Option<&[Command]> {
+    pub fn agreed_log(&self) -> Option<&[Entry<S::Op>]> {
         self.logs_consistent().then(|| self.logs[0].as_slice())
     }
 }

@@ -4,15 +4,24 @@
 //! names as future work (§7: "leveraging ProBFT for constructing a scalable
 //! state machine replication protocol").
 //!
-//! One ProBFT instance per log slot, run as a *pipelined, batched*
-//! throughput engine: each decided value carries a [`Batch`] of
-//! [`Command`]s, and up to `pipeline_depth` slots run consensus
-//! concurrently with out-of-order decisions buffered and applied in slot
-//! order to a deterministic [`KvStore`]. The composition drives the
-//! *unmodified* single-shot replica through the simulator's embedding API,
-//! so consensus-level guarantees carry over: with probability
+//! The replicated service is *generic*: consensus orders opaque operations
+//! of any [`StateMachine`] (`type Op`, `type Response`,
+//! `fn apply(&mut self, op) -> Response`), and the typed response of every
+//! applied operation flows back to the submitting client. One ProBFT
+//! instance runs per log slot, as a *pipelined, batched* throughput
+//! engine: each decided value carries a [`Batch`] of [`Entry`]s, and up to
+//! `pipeline_depth` slots run consensus concurrently with out-of-order
+//! decisions buffered and applied in slot order. The composition drives
+//! the *unmodified* single-shot replica through the simulator's embedding
+//! API, so consensus-level guarantees carry over: with probability
 //! `1 − exp(−Θ(√n))` per slot, all replicas append the same batch — and a
 //! pipelined run produces the identical log and state as a sequential one.
+//!
+//! Reads are first-class, at three [`Consistency`] tiers: `Local` (any
+//! replica, stale-allowed), `Leader` (leader-local, monotonic), and
+//! `Linearizable` (ordered through the log as a no-op write). The
+//! reference machine is the [`KvStore`]; anything wire-codable replicates
+//! the same way.
 //!
 //! # Examples
 //!
@@ -37,12 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod command;
 pub mod harness;
+pub mod kv;
+pub mod machine;
 pub mod node;
 
-pub use command::{Batch, Command, KvStore, RequestId};
 pub use harness::{SmrBuilder, SmrOutcome};
+pub use kv::{Command, KvResponse, KvStore};
+pub use machine::{Batch, Consistency, Entry, OpKind, RequestId, StateMachine, MAX_BATCH};
 pub use node::{
     AppliedRequest, SlotMessage, SmrNode, SmrSettings, FUTURE_WINDOW_DEPTHS, MAX_BUFFERED_PER_SLOT,
     MIN_FUTURE_WINDOW,

@@ -2,14 +2,15 @@
 //!
 //! The paper's future work (§7) proposes "leveraging ProBFT for
 //! constructing a scalable state machine replication protocol". This module
-//! is that construction grown into a throughput engine: one ProBFT
-//! consensus instance per log slot, where
+//! is that construction grown into a throughput engine over a *generic*
+//! [`StateMachine`]: one ProBFT consensus instance per log slot, where
 //!
 //! * **batching** — each decided [`Value`] carries a [`Batch`] of
-//!   [`Command`]s, so one consensus round amortises over many commands, and
+//!   [`Entry`]s (opaque operations plus client tags), so one consensus
+//!   round amortises over many operations, and
 //! * **pipelining** — up to [`SmrSettings::pipeline_depth`] slots run
 //!   concurrently. Decisions may arrive out of slot order; they are
-//!   buffered and applied to the [`KvStore`] strictly in order, so the
+//!   buffered and applied to the state machine strictly in order, so the
 //!   replicated state is identical to a sequential (`depth = 1`) run.
 //!
 //! Each [`SmrNode`] hosts the per-slot [`Replica`] state machines and
@@ -19,9 +20,15 @@
 //! ([`Context::detached`] + [`Context::drain_actions`]): the SMR layer is
 //! *pure orchestration*, so any fix to the consensus core is inherited
 //! here.
+//!
+//! Applying an entry yields the machine's typed
+//! [`Response`](StateMachine::Response), which is recorded per client (the
+//! reply cache behind at-most-once retries) and surfaced through
+//! [`SmrNode::drain_applied`] so the embedding runtime can answer the
+//! submitting client with the actual result, not a bare acknowledgement.
 
-use crate::command::{Batch, Command, KvStore, RequestId};
-use probft_core::config::SharedConfig;
+use crate::machine::{Batch, Entry, OpKind, RequestId, StateMachine};
+use probft_core::config::{SharedConfig, View};
 use probft_core::message::Message;
 use probft_core::replica::Replica;
 use probft_core::value::Value;
@@ -70,15 +77,15 @@ impl Wire for SlotMessage {
 /// Replication parameters shared by every node of a cluster.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SmrSettings {
-    /// Stop opening new slots once this many commands are applied.
+    /// Stop opening new slots once this many entries are applied.
     pub target_len: usize,
     /// How many slots may run consensus concurrently (≥ 1; 1 reproduces
     /// the strictly sequential chain).
     pub pipeline_depth: usize,
-    /// Most commands a proposer packs into one slot's batch (≥ 1).
+    /// Most entries a proposer packs into one slot's batch (≥ 1).
     pub batch_size: usize,
     /// Demand-driven slot opening (the live-cluster mode): a node opens a
-    /// slot only when it holds pending commands to propose, or when peer
+    /// slot only when it holds pending entries to propose, or when peer
     /// traffic for an in-window slot arrives. With `false` (the simulator
     /// workload mode) slots open eagerly up to the pipeline window until
     /// `target_len` is reached.
@@ -86,8 +93,8 @@ pub struct SmrSettings {
 }
 
 impl SmrSettings {
-    /// Sequential, one-command-per-slot replication of `target_len`
-    /// commands — the baseline configuration.
+    /// Sequential, one-entry-per-slot replication of `target_len`
+    /// entries — the baseline configuration.
     pub fn sequential(target_len: usize) -> Self {
         SmrSettings {
             target_len,
@@ -138,10 +145,11 @@ pub const FUTURE_WINDOW_DEPTHS: u64 = 4;
 /// Floor for the buffering horizon in slots.
 pub const MIN_FUTURE_WINDOW: u64 = 16;
 
-/// Notification that a client-tagged command reached the applied log —
-/// drained by the embedding runtime to answer the submitting client.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct AppliedRequest {
+/// Notification that a client-tagged entry reached the applied log —
+/// drained by the embedding runtime to answer the submitting client with
+/// the typed response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppliedRequest<R> {
     /// The request that was applied.
     pub request: RequestId,
     /// The log slot whose batch carried it.
@@ -149,24 +157,28 @@ pub struct AppliedRequest {
     /// Whether the operation executed against the state machine. `false`
     /// means this decided entry was a duplicate of an already-applied
     /// request (a client retry that got ordered twice) and was skipped —
-    /// the at-most-once guarantee in action.
+    /// the at-most-once guarantee in action. The `response` is then the
+    /// cached result of the original execution.
     pub executed: bool,
+    /// What the operation returned.
+    pub response: R,
 }
 
-/// A replica of the replicated state machine.
-pub struct SmrNode {
+/// A replica of the replicated state machine, generic over the
+/// application [`StateMachine`] it hosts.
+pub struct SmrNode<S: StateMachine> {
     cfg: SharedConfig,
     id: ReplicaId,
     sk: SigningKey,
     keys: Arc<PublicKeyring>,
-    /// Client commands this node wants ordered, proposed in batches when
-    /// this node leads a slot.
-    pending: VecDeque<Command>,
+    /// Entries this node wants ordered, proposed in batches when this
+    /// node leads a slot.
+    pending: VecDeque<Entry<S::Op>>,
     settings: SmrSettings,
 
     /// Per-slot consensus instances still in flight. Applied slots are
-    /// pruned immediately (only the log and KV state survive), so this map
-    /// never holds more than `pipeline_depth` replicas.
+    /// pruned immediately (only the log and machine state survive), so
+    /// this map never holds more than `pipeline_depth` replicas.
     slots: BTreeMap<u64, Replica>,
     /// Messages for in-window slots that have not started here yet.
     /// Bounded: only slots inside the pipeline window ahead of the lowest
@@ -181,33 +193,44 @@ pub struct SmrNode {
     /// The next slot index to open (slots `next_apply..next_open` are in
     /// flight).
     next_open: u64,
+    /// The view in which the most recently *applied* slot decided.
+    /// Survives slot pruning, so an *idle* node still remembers which
+    /// view the cluster last worked in — the leader hint handed to
+    /// redirected clients points at that view's leader instead of
+    /// falling back to the (possibly long-dead) view-1 leader. Tracking
+    /// the *deciding* view (not the highest view ever entered) makes the
+    /// hint self-healing: one transient view change does not pin the
+    /// hint on a replica that keeps losing fresh slots to the live
+    /// view-1 leader, because the next view-1 decision lowers it back.
+    last_decided_view: View,
     /// Outer timer token → (slot, inner token). Tokens are allocated from
     /// a counter, so concurrent slots can never collide regardless of how
     /// large the inner (view-carrying) tokens grow.
     timers: BTreeMap<u64, (u64, TimerToken)>,
     next_timer: u64,
-    /// Decided commands in slot order.
-    log: Vec<Command>,
+    /// Decided entries in slot order.
+    log: Vec<Entry<S::Op>>,
     /// The application state machine.
-    state: KvStore,
-    /// Highest applied request sequence number per client — the dedup
-    /// table behind at-most-once execution of retried client requests.
-    /// Bounded by the number of distinct clients.
-    applied_requests: BTreeMap<u64, u64>,
+    state: S,
+    /// Per client: the highest applied request sequence number and the
+    /// response it produced — the dedup watermark *and* reply cache
+    /// behind at-most-once execution of retried client requests. Bounded
+    /// by the number of distinct clients (one response each).
+    applied_requests: BTreeMap<u64, (u64, S::Response)>,
     /// Apply notifications not yet drained by the embedding runtime.
-    applied_events: Vec<AppliedRequest>,
+    applied_events: Vec<AppliedRequest<S::Response>>,
     rng: StdRng,
 }
 
-impl SmrNode {
-    /// Creates an SMR node that wants `workload` ordered under the given
-    /// replication settings.
+impl<S: StateMachine> SmrNode<S> {
+    /// Creates an SMR node that wants `workload` ordered (as untagged
+    /// writes) under the given replication settings.
     pub fn new(
         cfg: SharedConfig,
         id: ReplicaId,
         sk: SigningKey,
         keys: Arc<PublicKeyring>,
-        workload: Vec<Command>,
+        workload: Vec<S::Op>,
         settings: SmrSettings,
     ) -> Self {
         let seed = 0xD15C_0000 ^ id.0 as u64;
@@ -216,34 +239,35 @@ impl SmrNode {
             id,
             sk,
             keys,
-            pending: workload.into(),
+            pending: workload.into_iter().map(Entry::write).collect(),
             settings: settings.normalized(),
             slots: BTreeMap::new(),
             future: BTreeMap::new(),
             dropped_messages: 0,
             next_apply: 0,
             next_open: 0,
+            last_decided_view: View::FIRST,
             timers: BTreeMap::new(),
             next_timer: 0,
             log: Vec::new(),
-            state: KvStore::new(),
+            state: S::default(),
             applied_requests: BTreeMap::new(),
             applied_events: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
         }
     }
 
-    /// The decided command log so far.
-    pub fn log(&self) -> &[Command] {
+    /// The decided entry log so far.
+    pub fn log(&self) -> &[Entry<S::Op>] {
         &self.log
     }
 
     /// The application state.
-    pub fn state(&self) -> &KvStore {
+    pub fn state(&self) -> &S {
         &self.state
     }
 
-    /// Whether the node has applied its target number of commands.
+    /// Whether the node has applied its target number of entries.
     pub fn done(&self) -> bool {
         self.log.len() >= self.settings.target_len
     }
@@ -280,22 +304,31 @@ impl SmrNode {
         self.future.values().map(Vec::len).sum()
     }
 
-    /// Commands queued locally but not yet proposed into a slot.
+    /// Entries queued locally but not yet proposed into a slot.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
     }
 
     /// The replica this node believes currently leads the cluster: the
-    /// leader of the lowest in-flight slot's view, or of the first view
-    /// when no slot is in flight. Clients are redirected here.
+    /// leader of the lowest in-flight slot's view, or — when no slot is
+    /// in flight — of the view the most recently applied slot decided in
+    /// (so an idle cluster whose leader crashed and was voted out keeps
+    /// pointing clients at the *new* leader, not the view-1 fallback).
+    /// Clients are redirected here.
     pub fn current_leader(&self) -> ReplicaId {
         let view = self
             .slots
             .values()
             .next()
             .map(|r| r.current_view())
-            .unwrap_or(probft_core::config::View::FIRST);
+            .unwrap_or(self.last_decided_view);
         self.cfg.leader_of(view)
+    }
+
+    /// The view in which the most recently applied slot decided
+    /// (retained across slot pruning).
+    pub fn last_decided_view(&self) -> View {
+        self.last_decided_view
     }
 
     /// Whether `request` has already been applied to the state machine
@@ -303,42 +336,59 @@ impl SmrNode {
     pub fn request_applied(&self, request: RequestId) -> bool {
         self.applied_requests
             .get(&request.client)
-            .is_some_and(|&last| last >= request.seq)
+            .is_some_and(|(last, _)| *last >= request.seq)
     }
 
-    /// Enqueues a client-submitted command for ordering and opens a slot
-    /// for it if the pipeline window allows. The live runtime calls this
-    /// on the leader for each accepted client request.
-    pub fn submit(&mut self, cmd: Command, ctx: &mut Context<'_, SlotMessage>) {
-        self.pending.push_back(cmd);
+    /// The cached response for an already-applied request, if any — the
+    /// reply-cache read path for answering client retries without
+    /// re-executing. For a sequential client (one request in flight) the
+    /// cache always holds the response of its latest applied request.
+    pub fn cached_response(&self, request: RequestId) -> Option<&S::Response> {
+        self.applied_requests
+            .get(&request.client)
+            .filter(|(last, _)| *last >= request.seq)
+            .map(|(_, response)| response)
+    }
+
+    /// Evaluates `op` read-only against this node's applied state — the
+    /// serving path for [`Consistency::Local`](crate::Consistency) and
+    /// [`Consistency::Leader`](crate::Consistency) reads. Runs between
+    /// whole-batch applies, so the observation is never torn.
+    pub fn query(&self, op: &S::Op) -> S::Response {
+        self.state.query(op)
+    }
+
+    /// Enqueues an entry for ordering and opens a slot for it if the
+    /// pipeline window allows. The live runtime calls this on the leader
+    /// for each accepted client request (writes *and* linearizable
+    /// reads).
+    pub fn submit(&mut self, entry: Entry<S::Op>, ctx: &mut Context<'_, SlotMessage>) {
+        self.pending.push_back(entry);
         self.open_ready_slots(ctx);
     }
 
-    /// Removes and returns the apply notifications for client-tagged
-    /// commands since the last drain.
-    pub fn drain_applied(&mut self) -> Vec<AppliedRequest> {
+    /// Removes and returns the apply notifications (with typed responses)
+    /// for client-tagged entries since the last drain.
+    pub fn drain_applied(&mut self) -> Vec<AppliedRequest<S::Response>> {
         std::mem::take(&mut self.applied_events)
     }
 
     /// The value this node proposes for the next slot: a batch of up to
-    /// `batch_size` pending commands, or a lone no-op to keep the slot
-    /// progressing.
+    /// `batch_size` pending entries. With nothing pending the proposal is
+    /// an *empty* batch — it keeps the slot progressing without growing
+    /// the log (the generic replacement for ordering filler no-ops).
     ///
     /// Batches are drained in slot-open order, which is ascending slot
     /// order at every pipeline depth — that invariant is what makes a
     /// pipelined run decide the same value per slot as a sequential one.
     fn next_value(&mut self) -> Value {
         let take = self.settings.batch_size.min(self.pending.len());
-        let cmds: Vec<Command> = if take == 0 {
-            vec![Command::Noop]
-        } else {
-            self.pending.drain(..take).collect()
-        };
-        Batch(cmds).to_value()
+        let entries: Vec<Entry<S::Op>> = self.pending.drain(..take).collect();
+        Batch(entries).to_value()
     }
 
     /// Opens every slot the pipeline window allows. In lazy (live) mode a
-    /// slot is only opened while commands are pending locally — peers
+    /// slot is only opened while entries are pending locally — peers
     /// instead open slots on demand when traffic for them arrives.
     fn open_ready_slots(&mut self, ctx: &mut Context<'_, SlotMessage>) {
         while self.log.len() < self.settings.target_len
@@ -442,14 +492,16 @@ impl SmrNode {
             let Some(decision) = self.slots.get(&self.next_apply).and_then(|r| r.decision()) else {
                 break;
             };
-            let batch =
-                Batch::from_value(&decision.value).unwrap_or_else(|_| Batch(vec![Command::Noop]));
+            // The deciding view outlives the slot: it is the leader hint
+            // handed to redirected clients while no slot is in flight.
+            self.last_decided_view = decision.view;
+            let batch = Batch::from_value(&decision.value).unwrap_or_default();
             let slot = self.next_apply;
-            for cmd in batch.0 {
-                self.apply_command(cmd, slot);
+            for entry in batch.0 {
+                self.apply_entry(entry, slot);
             }
             // The slot is applied: free its replica and message state.
-            // Only the log and KV state outlive a slot (the minimal
+            // Only the log and machine state outlive a slot (the minimal
             // precursor to checkpointing / log truncation).
             self.slots.remove(&slot);
             self.next_apply += 1;
@@ -463,30 +515,55 @@ impl SmrNode {
         );
     }
 
-    /// Applies one decided command to the log and — unless it is a
+    /// Applies one decided entry to the log and — unless it is a
     /// duplicate of an already-executed client request — the state
     /// machine. Every replica sees the identical decided sequence, so this
-    /// dedup is deterministic and replicated states stay equal.
-    fn apply_command(&mut self, cmd: Command, slot: u64) {
-        match cmd.request() {
+    /// dedup is deterministic and replicated states stay equal. Read
+    /// entries execute via [`StateMachine::query`], observing the state
+    /// at their log position without mutating it.
+    fn apply_entry(&mut self, entry: Entry<S::Op>, slot: u64) {
+        match entry.request {
             Some(request) => {
                 let fresh = !self.request_applied(request);
-                if fresh {
-                    self.state.apply(&cmd);
-                    // Monotone watermark even if a (misbehaving) client's
-                    // sequence numbers get ordered out of order.
-                    let last = self.applied_requests.entry(request.client).or_insert(0);
-                    *last = (*last).max(request.seq);
-                }
+                let response = if fresh {
+                    let response = match entry.kind {
+                        OpKind::Write => self.state.apply(&entry.op),
+                        OpKind::Read => self.state.query(&entry.op),
+                    };
+                    // `fresh` means the seq is above the watermark, so
+                    // this insert keeps the watermark monotone even if a
+                    // (misbehaving) client's sequence numbers get ordered
+                    // out of order.
+                    self.applied_requests
+                        .insert(request.client, (request.seq, response.clone()));
+                    response
+                } else {
+                    // A retry ordered twice: skip execution, answer from
+                    // the reply cache.
+                    self.applied_requests
+                        .get(&request.client)
+                        .map(|(_, response)| response.clone())
+                        .expect("dedup hit implies a cached response")
+                };
                 self.applied_events.push(AppliedRequest {
                     request,
                     slot,
                     executed: fresh,
+                    response,
                 });
             }
-            None => self.state.apply(&cmd),
+            None => match entry.kind {
+                OpKind::Write => {
+                    self.state.apply(&entry.op);
+                }
+                // An untagged read has no client waiting and no effect:
+                // evaluating it would be pure wasted work (a full state
+                // clone under the default `query`), which a Byzantine
+                // proposer could otherwise exploit. Log it, skip it.
+                OpKind::Read => {}
+            },
         }
-        self.log.push(cmd);
+        self.log.push(entry);
     }
 }
 
@@ -495,7 +572,7 @@ enum DispatchEvent {
     Timer(TimerToken),
 }
 
-impl Process for SmrNode {
+impl<S: StateMachine> Process for SmrNode<S> {
     type Message = SlotMessage;
 
     fn on_start(&mut self, ctx: &mut Context<'_, SlotMessage>) {
@@ -536,7 +613,7 @@ impl Process for SmrNode {
         {
             // Live mode: peer traffic for an in-window slot is the signal
             // that the slot exists — open every slot up to it (proposing
-            // whatever is pending locally, or a no-op) and deliver.
+            // whatever is pending locally, or an empty batch) and deliver.
             while self.next_open <= slot {
                 let open = self.next_open;
                 self.next_open += 1;
@@ -564,7 +641,7 @@ impl Process for SmrNode {
     }
 }
 
-impl fmt::Debug for SmrNode {
+impl<S: StateMachine> fmt::Debug for SmrNode<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SmrNode")
             .field("id", &self.id)
@@ -578,12 +655,13 @@ impl fmt::Debug for SmrNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kv::{Command, KvResponse, KvStore};
     use probft_core::config::{ProbftConfig, View};
     use probft_core::message::Wish;
     use probft_crypto::keyring::Keyring;
     use probft_simnet::time::SimTime;
 
-    fn test_node(settings: SmrSettings) -> (SmrNode, StdRng) {
+    fn test_node(settings: SmrSettings) -> (SmrNode<KvStore>, StdRng) {
         let n = 4;
         let cfg: SharedConfig = Arc::new(ProbftConfig::builder(n).build());
         let keyring = Keyring::generate(n, b"node-tests");
@@ -671,5 +749,69 @@ mod tests {
         assert_eq!(node.dropped_messages(), 0);
         assert_eq!(node.pending_len(), 0);
         assert_eq!(node.current_leader(), ReplicaId(0));
+        assert_eq!(node.last_decided_view(), View::FIRST);
+    }
+
+    /// The reply cache: applying a tagged entry records its response;
+    /// a duplicate of the same request skips execution and replays the
+    /// cached response.
+    #[test]
+    fn reply_cache_deduplicates_and_replays_response() {
+        let (mut node, _rng) = test_node(SmrSettings::sequential(usize::MAX));
+        let request = RequestId { client: 9, seq: 1 };
+        let entry = Entry::tagged_write(
+            request,
+            Command::Put {
+                key: "a".into(),
+                value: "1".into(),
+            },
+        );
+        node.apply_entry(entry.clone(), 0);
+        node.apply_entry(entry, 1);
+
+        let events = node.drain_applied();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].executed);
+        assert!(!events[1].executed, "duplicate must not re-execute");
+        assert_eq!(events[0].response, KvResponse::Prev(None));
+        assert_eq!(
+            events[1].response,
+            KvResponse::Prev(None),
+            "duplicate replays the cached response, not a re-execution \
+             (a re-run would observe Prev(Some(\"1\")))"
+        );
+        assert_eq!(node.state().applied(), 1);
+        assert_eq!(node.cached_response(request), Some(&KvResponse::Prev(None)));
+    }
+
+    /// Read entries ordered through the log observe the state at their
+    /// log position and never mutate it.
+    #[test]
+    fn log_ordered_read_observes_prefix_without_mutation() {
+        let (mut node, _rng) = test_node(SmrSettings::sequential(usize::MAX));
+        node.apply_entry(
+            Entry::write(Command::Put {
+                key: "k".into(),
+                value: "before".into(),
+            }),
+            0,
+        );
+        let read = RequestId { client: 4, seq: 1 };
+        node.apply_entry(
+            Entry::tagged_read(read, Command::Get { key: "k".into() }),
+            1,
+        );
+        node.apply_entry(
+            Entry::write(Command::Put {
+                key: "k".into(),
+                value: "after".into(),
+            }),
+            2,
+        );
+        let events = node.drain_applied();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].response, KvResponse::Value(Some("before".into())));
+        assert_eq!(node.state().applied(), 2, "reads don't count as applies");
+        assert_eq!(node.log().len(), 3, "reads do occupy log positions");
     }
 }

@@ -7,12 +7,14 @@
 //! Boots a four-replica SMR cluster on OS-assigned loopback ports, then
 //! drives it the way a real application would: an `SmrClient` submits
 //! commands over TCP, gets redirected to the leader (the client starts at
-//! a follower on purpose), retries a request id (applied exactly once),
-//! and only returns once each command is applied. At shutdown every
+//! a follower on purpose), receives *typed responses* (a PUT reports the
+//! value it displaced, a DELETE the value it removed), retries a request
+//! id (answered from the reply cache, applied exactly once), and reads
+//! the store back at all three consistency tiers. At shutdown every
 //! replica must hold the identical log and key-value state.
 
 use probft::runtime::LiveSmrBuilder;
-use probft::smr::Command;
+use probft::smr::{Consistency, KvResponse};
 use std::time::Instant;
 
 fn main() {
@@ -30,17 +32,45 @@ fn main() {
     let mut client = cluster.client(1).leader_hint(1);
 
     let t0 = Instant::now();
-    client.put("lang", "rust").expect("applied");
-    client.put("proto", "probft").expect("applied");
-    client.delete("lang").expect("applied");
-    client.put("lang", "rust, again").expect("applied");
+    assert_eq!(
+        client.put("lang", "rust").expect("applied"),
+        KvResponse::Prev(None)
+    );
+    assert_eq!(
+        client.put("proto", "probft").expect("applied"),
+        KvResponse::Prev(None)
+    );
+    // Typed responses thread the state machine's answer back to the
+    // client: the delete reports exactly what it removed.
+    assert_eq!(
+        client.delete("lang").expect("applied"),
+        KvResponse::Removed(Some("rust".into()))
+    );
+    assert_eq!(
+        client.put("lang", "rust, again").expect("applied"),
+        KvResponse::Prev(None)
+    );
 
     // An explicit retry: the same request id is submitted a second time.
-    // The cluster recognises it and answers without executing it twice.
-    client.retry_last().expect("acknowledged, not re-applied");
+    // The cluster recognises it and replays the cached response without
+    // executing it twice.
+    assert_eq!(
+        client.retry_last().expect("acknowledged, not re-applied"),
+        KvResponse::Prev(None)
+    );
+
+    // The read path: one key, three consistency tiers. The linearizable
+    // read is ordered through the log (full consensus cost, sees every
+    // prior write); leader and local reads are served straight off
+    // applied state.
+    let lin = client.get("lang", Consistency::Linearizable).expect("read");
+    let leader = client.get("lang", Consistency::Leader).expect("read");
+    let local = client.get("lang", Consistency::Local).expect("read");
+    assert_eq!(lin.as_deref(), Some("rust, again"));
+    println!("reads — linearizable: {lin:?}, leader: {leader:?}, local: {local:?}");
 
     println!(
-        "4 commands applied (+1 deliberate retry) in {:.1} ms — \
+        "4 commands + 3 reads (+1 deliberate retry) in {:.1} ms — \
          {} redirect(s), {} retry attempt(s)\n",
         t0.elapsed().as_secs_f64() * 1000.0,
         client.redirects(),
@@ -50,7 +80,7 @@ fn main() {
     let reports = cluster.shutdown();
     for report in &reports {
         println!(
-            "replica {}: log={} cmds, applied={} ops, lang={:?}, resident slots={}",
+            "replica {}: log={} entries, applied={} ops, lang={:?}, resident slots={}",
             report.id,
             report.log.len(),
             report.state.applied(),
@@ -70,12 +100,13 @@ fn main() {
     );
     assert_eq!(first.state.get("lang"), Some("rust, again"));
     assert_eq!(first.state.get("proto"), Some("probft"));
-    // The retried request id executed exactly once: 4 operations total.
+    // The retried request id executed exactly once, and reads executed
+    // nothing: 4 operations total.
     assert_eq!(first.state.applied(), 4);
     assert!(
-        first.log.iter().all(|c| !matches!(c.op(), Command::Noop)),
-        "demand-driven slots: no filler no-ops were ordered"
+        first.log.iter().filter(|e| e.is_read()).count() >= 1,
+        "the linearizable read occupies a log position"
     );
 
-    println!("\nAgreement over real TCP with a real client front-end ✓");
+    println!("\nAgreement over real TCP with typed replies and tiered reads ✓");
 }

@@ -10,7 +10,7 @@ use probft::core::wire::Wire;
 use probft::crypto::keyring::Keyring;
 use probft::crypto::prg::{sample_distinct, Prg};
 use probft::quorum::{QuorumOutcome, QuorumTracker, ReplicaId};
-use probft::smr::{Batch, Command, SmrBuilder};
+use probft::smr::{Batch, Command, Entry, SmrBuilder};
 use proptest::prelude::*;
 
 proptest! {
@@ -33,19 +33,32 @@ proptest! {
         prop_assert_eq!(Command::from_value(&encoded).unwrap(), cmd);
     }
 
-    /// Batches of commands round-trip the wire codec intact, including
-    /// through a consensus `Value` payload.
+    /// Batches of entries round-trip the wire codec intact, including
+    /// through a consensus `Value` payload — with and without client tags
+    /// and read markers.
     #[test]
-    fn batch_codec_round_trip(entries in proptest::collection::vec((0u8..3, ".{0,16}", ".{0,16}"), 0..24) ) {
-        let cmds: Vec<Command> = entries
+    fn batch_codec_round_trip(entries in proptest::collection::vec((0u8..3, ".{0,16}", ".{0,16}", (any::<bool>(), 0u64..50, 0u64..50), any::<bool>()), 0..24) ) {
+        let entries: Vec<Entry<Command>> = entries
             .into_iter()
-            .map(|(which, key, value)| match which {
-                0 => Command::Put { key, value },
-                1 => Command::Delete { key },
-                _ => Command::Noop,
+            .map(|(which, key, value, (tagged, client, seq), read)| {
+                let op = match which {
+                    0 => Command::Put { key, value },
+                    1 => Command::Delete { key },
+                    _ => Command::Get { key },
+                };
+                if tagged {
+                    let request = probft::smr::RequestId { client, seq };
+                    if read {
+                        Entry::tagged_read(request, op)
+                    } else {
+                        Entry::tagged_write(request, op)
+                    }
+                } else {
+                    Entry::write(op)
+                }
             })
             .collect();
-        let batch = Batch(cmds);
+        let batch = Batch(entries);
         prop_assert_eq!(Batch::from_wire_bytes(&batch.to_wire_bytes()).unwrap(), batch.clone());
         prop_assert_eq!(Batch::from_value(&batch.to_value()).unwrap(), batch);
     }
@@ -54,7 +67,7 @@ proptest! {
     /// panic or runaway allocation.
     #[test]
     fn batch_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let _ = Batch::from_wire_bytes(&bytes);
+        let _ = Batch::<Command>::from_wire_bytes(&bytes);
     }
 
     /// Signatures verify for the signing key and fail for any other.

@@ -2,14 +2,18 @@
 
 use probft::quorum::ReplicaId;
 use probft::runtime::LiveSmrBuilder;
-use probft::smr::{Command, SmrBuilder};
+use probft::smr::{Command, Entry, KvResponse, SmrBuilder};
 
-/// Multi-slot SMR with commands submitted at several replicas: identical
-/// logs and states everywhere.
+/// Multi-slot SMR with commands queued at several replicas: identical
+/// logs and states everywhere. In a healthy run every slot's view-1
+/// leader is the same replica, so only *its* queue is ordered — the
+/// follower's queued command stays pending without corrupting anything
+/// (in the live cluster, clients route commands to the leader instead of
+/// queueing them at followers).
 #[test]
 fn smr_orders_multi_replica_workload() {
     let n = 7;
-    let target = 6;
+    let target = 2;
     let outcome = SmrBuilder::new(n, target)
         .seed(3)
         .workload(
@@ -38,21 +42,31 @@ fn smr_orders_multi_replica_workload() {
     assert!(outcome.states_consistent());
     let log = outcome.agreed_log().expect("consistent");
     assert_eq!(log.len(), target);
-    // Slot 0's leader is replica 0, so the first command is its first PUT.
+    // Slot 0's leader is replica 0, so the log is its queue in order.
     assert_eq!(
         log[0],
-        Command::Put {
+        Entry::write(Command::Put {
             key: "a".into(),
             value: "1".into()
-        }
+        })
     );
+    assert_eq!(
+        log[1],
+        Entry::write(Command::Put {
+            key: "b".into(),
+            value: "2".into()
+        })
+    );
+    // The follower's command was never ordered (it never led a view) and
+    // never leaked into any state.
+    assert!(outcome.states.iter().all(|s| s.get("c").is_none()));
 }
 
 /// SMR determinism: same seed, same ordered log.
 #[test]
 fn smr_is_deterministic() {
     let build = |seed| {
-        SmrBuilder::new(7, 3)
+        SmrBuilder::new(7, 2)
             .seed(seed)
             .workload(
                 ReplicaId(0),
@@ -192,8 +206,9 @@ fn long_pipelined_run_keeps_resident_slots_bounded() {
 
 /// Acceptance: a live 4-replica TCP cluster serves commands submitted
 /// through `SmrClient` — including a leader redirect (the client starts
-/// at a follower) and a retried request id (applied exactly once) — and
-/// every replica applies the identical log.
+/// at a follower) and a retried request id (applied exactly once, with
+/// the original response replayed from the reply cache) — and every
+/// replica applies the identical log.
 #[test]
 fn live_cluster_serves_clients_with_redirect_and_retry() {
     let cluster = LiveSmrBuilder::new(4)
@@ -206,13 +221,27 @@ fn live_cluster_serves_clients_with_redirect_and_retry() {
     // Start at replica 2 (a follower): the first submission must bounce
     // off a redirect before landing on the leader.
     let mut client = cluster.client(9).leader_hint(2);
-    client.put("x", "1").expect("applied");
-    client.put("y", "2").expect("applied");
-    client.delete("x").expect("applied");
+    assert_eq!(
+        client.put("x", "1").expect("applied"),
+        KvResponse::Prev(None)
+    );
+    assert_eq!(
+        client.put("y", "2").expect("applied"),
+        KvResponse::Prev(None)
+    );
+    // Typed responses: the delete reports what it removed.
+    assert_eq!(
+        client.delete("x").expect("applied"),
+        KvResponse::Removed(Some("1".into()))
+    );
     assert!(client.redirects() >= 1, "no redirect was exercised");
 
-    // Retry the last request id: acknowledged, not re-executed.
-    client.retry_last().expect("acknowledged");
+    // Retry the last request id: acknowledged from the reply cache with
+    // the *original* response, not re-executed.
+    assert_eq!(
+        client.retry_last().expect("acknowledged"),
+        KvResponse::Removed(Some("1".into()))
+    );
     assert!(client.retries() >= 1);
 
     let reports = cluster.shutdown();
@@ -239,7 +268,7 @@ fn live_cluster_serves_clients_with_redirect_and_retry() {
 #[test]
 fn duplicate_request_id_executes_exactly_once() {
     use probft::runtime::{write_frame, SmrFrame};
-    use probft::smr::RequestId;
+    use probft::smr::{KvStore, OpKind, RequestId};
     use probft_core::wire::Wire;
     use std::net::TcpStream;
 
@@ -253,9 +282,10 @@ fn duplicate_request_id_executes_exactly_once() {
     // leader (replica 0) before reading any reply, so both copies can
     // enter the pending queue and be decided.
     let request = RequestId { client: 5, seq: 1 };
-    let frame = SmrFrame::Request {
+    let frame = SmrFrame::<KvStore>::Request {
         request,
-        cmd: Command::Put {
+        kind: OpKind::Write,
+        op: Command::Put {
             key: "dup".into(),
             value: "once".into(),
         },
@@ -272,8 +302,8 @@ fn duplicate_request_id_executes_exactly_once() {
         .expect("reply frame")
         .expect("not EOF");
     assert!(matches!(
-        SmrFrame::from_wire_bytes(&reply),
-        Ok(SmrFrame::Reply(probft::runtime::SmrReply::Applied { request: r })) if r == request
+        SmrFrame::<KvStore>::from_wire_bytes(&reply),
+        Ok(SmrFrame::Reply(probft::runtime::SmrReply::Applied { request: r, .. })) if r == request
     ));
 
     let reports = cluster.shutdown();
@@ -359,7 +389,7 @@ mod live_matches_sim {
             prop_assert!(reports.windows(2).all(|w| w[0].log == w[1].log));
             prop_assert!(reports.windows(2).all(|w| w[0].state == w[1].state));
             let live_ops: Vec<Command> =
-                reports[0].log.iter().map(|c| c.op().clone()).collect();
+                reports[0].log.iter().map(|e| e.op().clone()).collect();
 
             // Simulated run of the same command set.
             let sim = SmrBuilder::new(4, commands.len())
@@ -368,9 +398,14 @@ mod live_matches_sim {
                 .workload(ReplicaId(0), commands.clone())
                 .run();
             prop_assert!(sim.logs_consistent());
-            let sim_log = sim.agreed_log().expect("consistent").to_vec();
+            let sim_ops: Vec<Command> = sim
+                .agreed_log()
+                .expect("consistent")
+                .iter()
+                .map(|e| e.op().clone())
+                .collect();
 
-            prop_assert_eq!(&live_ops, &sim_log);
+            prop_assert_eq!(&live_ops, &sim_ops);
             prop_assert_eq!(&live_ops, &commands);
         }
     }

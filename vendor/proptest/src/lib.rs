@@ -171,6 +171,8 @@ pub mod strategy {
     impl_strategy_tuple!(A: 0, B: 1);
     impl_strategy_tuple!(A: 0, B: 1, C: 2);
     impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
     /// Strategy for `any::<T>()`: the whole domain of `T`.
     pub struct Any<T> {

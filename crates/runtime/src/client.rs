@@ -338,8 +338,13 @@ impl<S: StateMachine> SmrClient<S> {
                 None => {
                     // Reply timeout or torn connection: resend the same
                     // request id (safe: ordered entries are deduplicated,
-                    // reads execute nothing).
+                    // reads execute nothing) — but to the *next* replica.
+                    // A silent-but-reachable replica (stalled, partitioned
+                    // from its peers, deposed mid-request) must not absorb
+                    // the whole submission budget; whoever we land on will
+                    // serve or redirect us back to a live leader.
                     self.drop_conn();
+                    self.hint = self.next_addr_after(target);
                 }
             }
         }

@@ -40,11 +40,16 @@ pub struct TransportStats {
     short_frames: AtomicU64,
     malformed_frames: AtomicU64,
     torn_frames: AtomicU64,
+    unsendable_frames: AtomicU64,
 }
 
 impl TransportStats {
     pub(crate) fn note_short(&self) {
         self.short_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_unsendable(&self) {
+        self.unsendable_frames.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_malformed(&self) {
@@ -64,6 +69,15 @@ impl TransportStats {
     /// to decode (includes oversized length prefixes).
     pub fn malformed_frames(&self) -> u64 {
         self.malformed_frames.load(Ordering::Relaxed)
+    }
+
+    /// Outbound frames that could never be sent because they exceed the
+    /// transport's frame cap (e.g. a checkpoint snapshot past `MAX_FRAME`)
+    /// — the payload is dropped but the connection survives. Non-zero
+    /// here with a stalled laggard means the state machine has outgrown
+    /// single-frame snapshot transfer.
+    pub fn unsendable_frames(&self) -> u64 {
+        self.unsendable_frames.load(Ordering::Relaxed)
     }
 
     /// Connections that failed mid-stream: EOF inside a length prefix or

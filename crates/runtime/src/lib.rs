@@ -16,7 +16,11 @@
 //! typed responses, leader routing, address-carrying redirects, retries,
 //! at-most-once execution of retried request ids, and a three-tier read
 //! path (`Local` / `Leader` reads bypass consensus; `Linearizable` reads
-//! are ordered through the log).
+//! are ordered through the log). With a checkpoint interval set, replicas
+//! exchange signed checkpoint attestations, truncate their logs behind
+//! stable checkpoints, and bring laggards back by snapshot state transfer
+//! over dedicated wire frames; `LiveSmrCluster::pause`/`resume` provide
+//! crash/partition fault injection for exercising exactly that.
 //!
 //! `tokio` is not available in this offline build environment (see
 //! DESIGN.md, "Substitutions"); the thread-per-replica design over

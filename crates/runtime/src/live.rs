@@ -24,6 +24,15 @@
 //! [`Consistency::Linearizable`] reads never use these frames: the client
 //! submits them as ordered read entries through the normal request path,
 //! paying one consensus round for a log-ordered observation.
+//!
+//! With a [`checkpoint_interval`](LiveSmrBuilder::checkpoint_interval)
+//! set, the checkpoint subsystem rides three more frames: signed
+//! [`SmrFrame::CheckpointVote`] attestations make checkpoints stable (and
+//! the resident log bounded), and a replica that finds itself behind the
+//! cluster's stable checkpoint — a restarted or partitioned laggard —
+//! fetches the snapshot over TCP with [`SmrFrame::StateRequest`] /
+//! [`SmrFrame::StateReply`] and resumes consensus from the checkpoint
+//! slot instead of replaying (or waiting forever for) the truncated log.
 
 use crate::cluster::{
     bind_listeners, connect_peer, reap_finished, tick_to_duration, ClusterError, TransportStats,
@@ -34,12 +43,14 @@ use probft_core::config::{ProbftConfig, SharedConfig};
 use probft_core::wire::{put, Reader, Wire, WireError};
 use probft_crypto::keyring::{Keyring, PublicKeyring};
 use probft_crypto::schnorr::SigningKey;
+use probft_crypto::sha256::Digest;
 use probft_quorum::ReplicaId;
 use probft_simnet::process::{Action, Context, Process, ProcessId, TimerToken};
 use probft_simnet::time::{SimDuration, SimTime};
 use probft_smr::node::SmrNode;
 use probft_smr::{
-    Consistency, Entry, KvStore, OpKind, RequestId, SlotMessage, SmrSettings, StateMachine,
+    CheckpointStats, CheckpointVote, Consistency, Entry, KvStore, OpKind, RequestId, SlotMessage,
+    SmrMessage, SmrSettings, StateMachine, StateReply, StateRequest,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -98,6 +109,28 @@ pub enum SmrFrame<S: StateMachine> {
         /// applies (never torn).
         response: S::Response,
     },
+    /// Replica-to-replica signed checkpoint attestation. The Schnorr
+    /// signature inside the vote (not the connection it arrived on) is
+    /// what authenticates it, so a rogue client cannot forge a stability
+    /// quorum.
+    CheckpointVote(CheckpointVote),
+    /// A lagging replica asking a peer for its stable-checkpoint
+    /// snapshot.
+    StateRequest {
+        /// Requesting replica id (where the [`StateReply`]
+        /// (Self::StateReply) goes).
+        from: u32,
+        /// What is being asked for.
+        req: StateRequest,
+    },
+    /// A stable-checkpoint snapshot in flight to a laggard, verified by
+    /// the receiver against the quorum-attested digest.
+    StateReply {
+        /// Sending replica id.
+        from: u32,
+        /// The snapshot payload.
+        rep: StateReply,
+    },
 }
 
 /// A replica's answer to a client submission.
@@ -139,6 +172,9 @@ const FRAME_APPLIED: u8 = 3;
 const FRAME_REDIRECT: u8 = 4;
 const FRAME_READ_REQUEST: u8 = 5;
 const FRAME_READ_REPLY: u8 = 6;
+const FRAME_CHECKPOINT_VOTE: u8 = 7;
+const FRAME_STATE_REQUEST: u8 = 8;
+const FRAME_STATE_REPLY: u8 = 9;
 
 fn encode_addr(out: &mut Vec<u8>, addr: &SocketAddr) {
     put::var_bytes(out, addr.to_string().as_bytes());
@@ -207,6 +243,20 @@ impl<S: StateMachine> Wire for SmrFrame<S> {
                 encode_request(out, *request);
                 response.encode(out);
             }
+            SmrFrame::CheckpointVote(vote) => {
+                out.push(FRAME_CHECKPOINT_VOTE);
+                vote.encode(out);
+            }
+            SmrFrame::StateRequest { from, req } => {
+                out.push(FRAME_STATE_REQUEST);
+                put::u32(out, *from);
+                req.encode(out);
+            }
+            SmrFrame::StateReply { from, rep } => {
+                out.push(FRAME_STATE_REPLY);
+                put::u32(out, *from);
+                rep.encode(out);
+            }
         }
     }
 
@@ -253,6 +303,17 @@ impl<S: StateMachine> Wire for SmrFrame<S> {
                 let response = S::Response::decode(r)?;
                 Ok(SmrFrame::ReadReply { request, response })
             }
+            FRAME_CHECKPOINT_VOTE => Ok(SmrFrame::CheckpointVote(CheckpointVote::decode(r)?)),
+            FRAME_STATE_REQUEST => {
+                let from = r.u32()?;
+                let req = StateRequest::decode(r)?;
+                Ok(SmrFrame::StateRequest { from, req })
+            }
+            FRAME_STATE_REPLY => {
+                let from = r.u32()?;
+                let rep = StateReply::decode(r)?;
+                Ok(SmrFrame::StateReply { from, rep })
+            }
             t => Err(WireError::UnknownTag(t)),
         }
     }
@@ -263,16 +324,35 @@ impl<S: StateMachine> Wire for SmrFrame<S> {
 pub struct ReplicaReport<S: StateMachine = KvStore> {
     /// The replica's id.
     pub id: usize,
-    /// Its decided, applied entry log (identical across correct
-    /// replicas).
+    /// Its *resident* decided entry log: the suffix above the stable
+    /// checkpoint (the full log while checkpointing is off; identical
+    /// across correct replicas up to truncation points).
     pub log: Vec<Entry<S::Op>>,
+    /// Entries truncated below the stable checkpoint — the global index
+    /// of `log[0]`.
+    pub log_offset: u64,
+    /// Running SHA-256 chain over every entry the replica ever applied;
+    /// with [`total_log_len`](Self::total_log_len) it identifies the full
+    /// logical log even after truncation.
+    pub log_digest: Digest,
     /// Its application state.
     pub state: S,
     /// Per-slot consensus instances still heap-resident (bounded by the
     /// pipeline depth — decided slots are pruned on apply).
     pub resident_slots: usize,
-    /// Messages its node dropped at the bounded future-slot buffer.
+    /// Messages its node rejected: bounded future-slot buffer drops plus
+    /// invalid checkpoint traffic (forged votes, unverifiable state
+    /// replies).
     pub dropped_messages: u64,
+    /// Checkpoint / truncation / state-transfer counters.
+    pub checkpoints: CheckpointStats,
+}
+
+impl<S: StateMachine> ReplicaReport<S> {
+    /// Total entries the replica applied: truncated plus resident.
+    pub fn total_log_len(&self) -> u64 {
+        self.log_offset + self.log.len() as u64
+    }
 }
 
 /// Builds a live TCP cluster that serves state-machine replication of any
@@ -295,6 +375,7 @@ pub struct LiveSmrBuilder<S: StateMachine = KvStore> {
     base_port: Option<u16>,
     pipeline_depth: usize,
     batch_size: usize,
+    checkpoint_interval: usize,
     _machine: std::marker::PhantomData<S>,
 }
 
@@ -317,6 +398,7 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
             base_port: None,
             pipeline_depth: 4,
             batch_size: 8,
+            checkpoint_interval: 0,
             _machine: std::marker::PhantomData,
         }
     }
@@ -346,6 +428,16 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
         self
     }
 
+    /// Takes a checkpoint every `interval` applied slots (0 disables —
+    /// the default). Bounds every replica's resident command log to
+    /// O(interval + pipeline depth) slots' worth of entries and lets a
+    /// replica that fell behind the stable checkpoint catch up by
+    /// snapshot transfer instead of stalling.
+    pub fn checkpoint_interval(mut self, interval: usize) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
     /// Boots the replica threads and returns a handle serving clients.
     ///
     /// # Errors
@@ -365,13 +457,17 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
         let public = Arc::new(keyring.public());
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(TransportStats::default());
-        let settings = SmrSettings::live(self.pipeline_depth, self.batch_size);
+        let mut settings = SmrSettings::live(self.pipeline_depth, self.batch_size);
+        settings.checkpoint_interval = self.checkpoint_interval;
 
         let (listeners, addrs) = bind_listeners(self.n, self.base_port)?;
         let addrs = Arc::new(addrs);
 
         let applied_lens: Vec<Arc<AtomicU64>> =
             (0..self.n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let paused: Vec<Arc<AtomicBool>> = (0..self.n)
+            .map(|_| Arc::new(AtomicBool::new(false)))
+            .collect();
 
         let mut handles = Vec::with_capacity(self.n);
         for (i, listener) in listeners.into_iter().enumerate() {
@@ -382,6 +478,7 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
             let stats = stats.clone();
             let addrs = addrs.clone();
             let applied_len = applied_lens[i].clone();
+            let paused = paused[i].clone();
             handles.push(thread::spawn(move || {
                 smr_replica_main::<S>(
                     i,
@@ -394,6 +491,7 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
                     shutdown,
                     stats,
                     applied_len,
+                    paused,
                 )
             }));
         }
@@ -404,6 +502,7 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
             handles,
             stats,
             applied_lens,
+            paused,
         })
     }
 }
@@ -420,6 +519,10 @@ pub struct LiveSmrCluster<S: StateMachine = KvStore> {
     /// Per-replica applied-log lengths, for the quiescence wait at
     /// shutdown.
     applied_lens: Vec<Arc<AtomicU64>>,
+    /// Per-replica pause flags (fault injection: a paused replica drops
+    /// everything it receives and sends nothing, like a partitioned or
+    /// stalled process).
+    paused: Vec<Arc<AtomicBool>>,
 }
 
 impl<S: StateMachine> LiveSmrCluster<S> {
@@ -447,6 +550,25 @@ impl<S: StateMachine> LiveSmrCluster<S> {
             .collect()
     }
 
+    /// Stalls replica `i`: it stops firing timers, sends nothing, and
+    /// discards everything it receives — indistinguishable from a crash
+    /// or partition to the rest of the cluster. Fault injection for
+    /// tests and experiments; a no-op for out-of-range ids.
+    pub fn pause(&self, i: usize) {
+        if let Some(flag) = self.paused.get(i) {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Un-stalls replica `i`. The replica resumes with whatever state it
+    /// had when paused; if the cluster moved past a stable checkpoint in
+    /// the meantime, it catches up by snapshot state transfer.
+    pub fn resume(&self, i: usize) {
+        if let Some(flag) = self.paused.get(i) {
+            flag.store(false, Ordering::SeqCst);
+        }
+    }
+
     /// Stops every replica thread and returns what each one held, in
     /// replica-id order.
     ///
@@ -455,12 +577,20 @@ impl<S: StateMachine> LiveSmrCluster<S> {
     /// commit deliveries behind. Before raising the shutdown flag this
     /// waits (bounded) for quiescence — every replica at the same applied
     /// length, unchanged for a quiet period — so callers that stopped
-    /// submitting observe identical logs everywhere.
+    /// submitting observe identical logs everywhere. Replicas left
+    /// [`pause`](Self::pause)d are excluded from the wait (they cannot
+    /// make progress by definition).
     pub fn shutdown(self) -> Vec<ReplicaReport<S>> {
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut stable: Option<(Vec<u64>, Instant)> = None;
         while Instant::now() < deadline {
-            let lens = self.applied_lens();
+            let lens: Vec<u64> = self
+                .applied_lens()
+                .into_iter()
+                .zip(&self.paused)
+                .filter(|(_, paused)| !paused.load(Ordering::SeqCst))
+                .map(|(len, _)| len)
+                .collect();
             let all_equal = lens.windows(2).all(|w| w[0] == w[1]);
             match &stable {
                 Some((prev, since)) if *prev == lens => {
@@ -483,10 +613,18 @@ impl<S: StateMachine> LiveSmrCluster<S> {
     }
 }
 
+/// How many client contacts a non-leading replica absorbs, without any
+/// log progress in between, before probing a slot open to force the
+/// view-change machinery to run. Covers the never-view-changed
+/// idle-leader-crash case: clients keep arriving, every redirect points
+/// at the silent view-1 leader, and nothing would ever time out because
+/// no slot is in flight anywhere.
+const FOLLOWER_PROBE_CONTACTS: u32 = 3;
+
 /// Inbound events to a live SMR replica's event loop.
 enum SmrEvent<S: StateMachine> {
-    /// Consensus traffic from a peer replica.
-    Peer(ProcessId, SlotMessage),
+    /// Consensus or checkpoint traffic from a peer replica.
+    Peer(ProcessId, SmrMessage),
     /// A client submission to be ordered, with the write half of its
     /// connection for the eventual reply.
     Request {
@@ -516,6 +654,7 @@ fn smr_replica_main<S: StateMachine>(
     shutdown: Arc<AtomicBool>,
     stats: Arc<TransportStats>,
     applied_len: Arc<AtomicU64>,
+    paused: Arc<AtomicBool>,
 ) -> ReplicaReport<S> {
     let n = addrs.len();
     let (event_tx, event_rx) = mpsc::channel::<SmrEvent<S>>();
@@ -589,7 +728,7 @@ fn smr_replica_main<S: StateMachine>(
     // Start the node (in live mode this opens no slots until traffic
     // arrives).
     let actions = {
-        let mut ctx: Context<'_, SlotMessage> =
+        let mut ctx: Context<'_, SmrMessage> =
             Context::detached(ProcessId(id), now_sim(started), &mut rng);
         node.on_start(&mut ctx);
         ctx.drain_actions()
@@ -601,9 +740,22 @@ fn smr_replica_main<S: StateMachine>(
         &mut peers,
         &mut timers,
         connect_attempts(started),
+        &stats,
     );
 
+    // Follower probing (the idle-leader-crash escape hatch): client
+    // contacts answered with a redirect since the log last advanced.
+    let mut unserved_contacts: u32 = 0;
+    let mut last_progress: u64 = 0;
+
     while !shutdown.load(Ordering::SeqCst) {
+        if paused.load(Ordering::SeqCst) {
+            // Fault injection: a paused replica is a partitioned process.
+            // Discard whatever arrives, fire nothing, send nothing.
+            while event_rx.try_recv().is_ok() {}
+            thread::sleep(Duration::from_millis(5));
+            continue;
+        }
         // Fire due timers.
         while let Some(Reverse((deadline, token))) = timers.peek().copied() {
             if deadline > Instant::now() {
@@ -611,7 +763,7 @@ fn smr_replica_main<S: StateMachine>(
             }
             timers.pop();
             let actions = {
-                let mut ctx: Context<'_, SlotMessage> =
+                let mut ctx: Context<'_, SmrMessage> =
                     Context::detached(ProcessId(id), now_sim(started), &mut rng);
                 node.on_timer(token, &mut ctx);
                 ctx.drain_actions()
@@ -623,6 +775,7 @@ fn smr_replica_main<S: StateMachine>(
                 &mut peers,
                 &mut timers,
                 connect_attempts(started),
+                &stats,
             );
         }
 
@@ -635,7 +788,7 @@ fn smr_replica_main<S: StateMachine>(
         match event_rx.recv_timeout(wait) {
             Ok(SmrEvent::Peer(from, msg)) => {
                 let actions = {
-                    let mut ctx: Context<'_, SlotMessage> =
+                    let mut ctx: Context<'_, SmrMessage> =
                         Context::detached(ProcessId(id), now_sim(started), &mut rng);
                     node.on_message(from, msg, &mut ctx);
                     ctx.drain_actions()
@@ -647,6 +800,7 @@ fn smr_replica_main<S: StateMachine>(
                     &mut peers,
                     &mut timers,
                     connect_attempts(started),
+                    &stats,
                 );
             }
             Ok(SmrEvent::Request {
@@ -668,6 +822,9 @@ fn smr_replica_main<S: StateMachine>(
                             addr,
                         },
                     );
+                    // Counted toward the follower probe (checked once per
+                    // loop turn, below).
+                    unserved_contacts += 1;
                 } else if let Some(response) = node.cached_response(request).cloned() {
                     // A retry of something already applied: answer from
                     // the reply cache without re-ordering it
@@ -685,7 +842,7 @@ fn smr_replica_main<S: StateMachine>(
                         op,
                     };
                     let actions = {
-                        let mut ctx: Context<'_, SlotMessage> =
+                        let mut ctx: Context<'_, SmrMessage> =
                             Context::detached(ProcessId(id), now_sim(started), &mut rng);
                         node.submit(entry, &mut ctx);
                         ctx.drain_actions()
@@ -697,6 +854,7 @@ fn smr_replica_main<S: StateMachine>(
                         &mut peers,
                         &mut timers,
                         connect_attempts(started),
+                        &stats,
                     );
                 }
             }
@@ -727,10 +885,39 @@ fn smr_replica_main<S: StateMachine>(
                             addr,
                         },
                     );
+                    // A leader read bounced off a silent leader is client
+                    // contact too — it must count toward the probe, or an
+                    // idle dead-leader cluster would serve writes but
+                    // starve reads forever.
+                    unserved_contacts += 1;
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+
+        // Clients keep arriving but the leader every redirect names never
+        // orders anything: after a few contacts with no log progress,
+        // probe a slot open so the view-change timers run and the next
+        // decision repoints every hint at a live leader. (A spurious
+        // probe on a healthy cluster costs one empty slot.)
+        if unserved_contacts >= FOLLOWER_PROBE_CONTACTS {
+            let actions = {
+                let mut ctx: Context<'_, SmrMessage> =
+                    Context::detached(ProcessId(id), now_sim(started), &mut rng);
+                node.probe_open(&mut ctx);
+                ctx.drain_actions()
+            };
+            apply_smr_actions::<S>(
+                id,
+                &addrs,
+                actions,
+                &mut peers,
+                &mut timers,
+                connect_attempts(started),
+                &stats,
+            );
+            unserved_contacts = 0;
         }
 
         // Answer every client whose entry reached the applied log, with
@@ -753,7 +940,12 @@ fn smr_replica_main<S: StateMachine>(
         if !waiting.is_empty() {
             waiting.retain(|_, (_, since)| since.elapsed() < WAITER_TTL);
         }
-        applied_len.store(node.log().len() as u64, Ordering::SeqCst);
+        let total = node.total_log_len();
+        if total != last_progress {
+            last_progress = total;
+            unserved_contacts = 0;
+        }
+        applied_len.store(total, Ordering::SeqCst);
     }
 
     // Join the accept loop and every reader before reporting, so shutdown
@@ -770,9 +962,12 @@ fn smr_replica_main<S: StateMachine>(
     ReplicaReport {
         id,
         log: node.log().to_vec(),
+        log_offset: node.log_offset(),
+        log_digest: node.log_digest(),
         state: node.state().clone(),
         resident_slots: node.resident_slots(),
         dropped_messages: node.dropped_messages(),
+        checkpoints: node.checkpoint_stats(),
     }
 }
 
@@ -822,7 +1017,46 @@ fn smr_reader_loop<S: StateMachine>(
             Ok(Some(frame)) => match SmrFrame::<S>::from_wire_bytes(&frame) {
                 Ok(SmrFrame::Peer { from, msg }) if (from as usize) < n => {
                     if event_tx
-                        .send(SmrEvent::Peer(ProcessId(from as usize), msg))
+                        .send(SmrEvent::Peer(
+                            ProcessId(from as usize),
+                            SmrMessage::Slot(msg),
+                        ))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                // Checkpoint traffic: votes authenticate themselves (the
+                // node checks the Schnorr signature); requests and
+                // replies carry the sender id for reply routing, and a
+                // forged reply is discarded by the digest check against
+                // the attested quorum.
+                Ok(SmrFrame::CheckpointVote(vote)) if vote.from.index() < n => {
+                    let from = ProcessId(vote.from.index());
+                    if event_tx
+                        .send(SmrEvent::Peer(from, SmrMessage::CheckpointVote(vote)))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                Ok(SmrFrame::StateRequest { from, req }) if (from as usize) < n => {
+                    if event_tx
+                        .send(SmrEvent::Peer(
+                            ProcessId(from as usize),
+                            SmrMessage::StateRequest(req),
+                        ))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                Ok(SmrFrame::StateReply { from, rep }) if (from as usize) < n => {
+                    if event_tx
+                        .send(SmrEvent::Peer(
+                            ProcessId(from as usize),
+                            SmrMessage::StateReply(rep),
+                        ))
                         .is_err()
                     {
                         return;
@@ -871,7 +1105,10 @@ fn smr_reader_loop<S: StateMachine>(
                 // are malformed input; drop, count, keep the connection.
                 Ok(SmrFrame::Peer { .. })
                 | Ok(SmrFrame::Reply(_))
-                | Ok(SmrFrame::ReadReply { .. }) => stats.note_malformed(),
+                | Ok(SmrFrame::ReadReply { .. })
+                | Ok(SmrFrame::CheckpointVote(_))
+                | Ok(SmrFrame::StateRequest { .. })
+                | Ok(SmrFrame::StateReply { .. }) => stats.note_malformed(),
                 Err(_) => stats.note_malformed(),
             },
             Ok(None) => return, // clean close at a frame boundary
@@ -894,16 +1131,18 @@ fn smr_reader_loop<S: StateMachine>(
 }
 
 /// Interprets an [`SmrNode`]'s drained actions against sockets and the
-/// timer heap. `connect_attempts` distinguishes the boot window (retry
-/// while peers come up) from steady state (fail fast so a dead replica
-/// cannot stall the event loop on every send).
+/// timer heap, mapping each [`SmrMessage`] variant onto its wire frame.
+/// `connect_attempts` distinguishes the boot window (retry while peers
+/// come up) from steady state (fail fast so a dead replica cannot stall
+/// the event loop on every send).
 fn apply_smr_actions<S: StateMachine>(
     id: usize,
     addrs: &[SocketAddr],
-    actions: Vec<Action<SlotMessage>>,
+    actions: Vec<Action<SmrMessage>>,
     peers: &mut [Option<TcpStream>],
     timers: &mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
     connect_attempts: u32,
+    stats: &TransportStats,
 ) {
     for action in actions {
         match action {
@@ -911,14 +1150,33 @@ fn apply_smr_actions<S: StateMachine>(
                 if to.index() >= addrs.len() {
                     continue;
                 }
-                let frame = SmrFrame::<S>::Peer {
-                    from: id as u32,
-                    msg,
+                let frame = match msg {
+                    SmrMessage::Slot(msg) => SmrFrame::<S>::Peer {
+                        from: id as u32,
+                        msg,
+                    },
+                    SmrMessage::CheckpointVote(vote) => SmrFrame::<S>::CheckpointVote(vote),
+                    SmrMessage::StateRequest(req) => SmrFrame::<S>::StateRequest {
+                        from: id as u32,
+                        req,
+                    },
+                    SmrMessage::StateReply(rep) => SmrFrame::<S>::StateReply {
+                        from: id as u32,
+                        rep,
+                    },
                 }
                 .to_wire_bytes();
                 if let Some(stream) = connect_peer(peers, to.index(), addrs, connect_attempts) {
-                    if write_frame(stream, &frame).is_err() {
-                        peers[to.index()] = None; // drop broken link; retry later
+                    match write_frame(stream, &frame) {
+                        Ok(()) => {}
+                        // An unsendable frame (e.g. a snapshot beyond the
+                        // transport's MAX_FRAME cap) wrote nothing: the
+                        // link is healthy and also carries consensus
+                        // traffic, so keep it — but count the loss, or a
+                        // too-big-to-transfer snapshot would strand its
+                        // laggard with no observable signal.
+                        Err(FrameError::Oversized(_)) => stats.note_unsendable(),
+                        Err(_) => peers[to.index()] = None, // broken link; retry later
                     }
                 }
             }
@@ -979,6 +1237,40 @@ mod tests {
                 request: sample_request(),
                 response: KvResponse::Value(None),
             },
+            {
+                let keyring = probft_crypto::keyring::Keyring::generate(4, b"frame-tests");
+                SmrFrame::CheckpointVote(CheckpointVote::sign(
+                    keyring.signing_key(2).unwrap(),
+                    ReplicaId(2),
+                    64,
+                    probft_crypto::sha256::Sha256::digest(b"snapshot"),
+                ))
+            },
+            SmrFrame::StateRequest {
+                from: 3,
+                req: StateRequest { min_slot: 64 },
+            },
+            SmrFrame::StateReply {
+                from: 1,
+                rep: StateReply {
+                    slot: 64,
+                    snapshot: vec![1, 2, 3, 4],
+                    certificate: {
+                        let keyring = probft_crypto::keyring::Keyring::generate(4, b"frame-tests");
+                        let digest = probft_crypto::sha256::Sha256::digest(b"snapshot");
+                        (0..3)
+                            .map(|i| {
+                                CheckpointVote::sign(
+                                    keyring.signing_key(i).unwrap(),
+                                    ReplicaId::from(i),
+                                    64,
+                                    digest,
+                                )
+                            })
+                            .collect()
+                    },
+                },
+            },
         ];
         for frame in frames {
             let bytes = frame.to_wire_bytes();
@@ -1007,6 +1299,18 @@ mod tests {
         put::u64(&mut bytes, 9);
         put::u32(&mut bytes, 1);
         put::var_bytes(&mut bytes, b"not-an-addr");
+        assert!(SmrFrame::<KvStore>::from_wire_bytes(&bytes).is_err());
+        // A checkpoint vote too short to hold a signature.
+        let mut bytes = vec![FRAME_CHECKPOINT_VOTE];
+        put::u32(&mut bytes, 1);
+        put::u64(&mut bytes, 64);
+        assert!(SmrFrame::<KvStore>::from_wire_bytes(&bytes).is_err());
+        // A state reply whose snapshot length prefix overruns the frame.
+        let mut bytes = vec![FRAME_STATE_REPLY];
+        put::u32(&mut bytes, 1);
+        put::u64(&mut bytes, 64);
+        put::u64(&mut bytes, 1_000_000);
+        bytes.push(0xAB);
         assert!(SmrFrame::<KvStore>::from_wire_bytes(&bytes).is_err());
     }
 }

@@ -1,10 +1,12 @@
 //! Harness for replicated-state-machine experiments.
 
+use crate::checkpoint::CheckpointStats;
 use crate::kv::KvStore;
 use crate::machine::{Entry, StateMachine};
 use crate::node::{SmrNode, SmrSettings};
 use probft_core::config::{ProbftConfig, SharedConfig};
 use probft_crypto::keyring::Keyring;
+use probft_crypto::sha256::Digest;
 use probft_quorum::ReplicaId;
 use probft_simnet::delay::PartialSynchrony;
 use probft_simnet::metrics::{MessageMetrics, ThroughputStats};
@@ -47,6 +49,7 @@ impl<S: StateMachine> SmrBuilder<S> {
                 pipeline_depth: 4,
                 batch_size: 1,
                 lazy_open: false,
+                checkpoint_interval: 0,
             },
             max_events: 50_000_000,
         }
@@ -67,6 +70,15 @@ impl<S: StateMachine> SmrBuilder<S> {
     /// Sets how many pending entries a proposer packs per slot.
     pub fn batch_size(mut self, batch: usize) -> Self {
         self.settings.batch_size = batch.max(1);
+        self
+    }
+
+    /// Takes a checkpoint every `interval` applied slots (0 disables —
+    /// the default). Stable checkpoints truncate each replica's resident
+    /// command log, so long runs hold O(interval × batch) entries instead
+    /// of the full history.
+    pub fn checkpoint_interval(mut self, interval: usize) -> Self {
+        self.settings.checkpoint_interval = interval;
         self
     }
 
@@ -126,12 +138,21 @@ impl<S: StateMachine> SmrBuilder<S> {
         let dropped_messages: Vec<u64> = (0..self.n)
             .map(|i| sim.process(ProcessId(i)).dropped_messages())
             .collect();
+        let log_offsets: Vec<u64> = (0..self.n)
+            .map(|i| sim.process(ProcessId(i)).log_offset())
+            .collect();
+        let log_digests: Vec<Digest> = (0..self.n)
+            .map(|i| sim.process(ProcessId(i)).log_digest())
+            .collect();
+        let checkpoints: Vec<CheckpointStats> = (0..self.n)
+            .map(|i| sim.process(ProcessId(i)).checkpoint_stats())
+            .collect();
 
         // Throughput is measured at replica 0: all correct replicas apply
         // the same slots, so its view is representative of the run.
         let node0 = sim.process(ProcessId(0));
         let throughput = ThroughputStats {
-            commands: node0.log().len() as u64,
+            commands: node0.total_log_len(),
             slots_opened: node0.slots_opened(),
             slots_applied: node0.slots_applied(),
             ticks: sim.now().ticks(),
@@ -142,6 +163,9 @@ impl<S: StateMachine> SmrBuilder<S> {
             states,
             resident_slots,
             dropped_messages,
+            log_offsets,
+            log_digests,
+            checkpoints,
             metrics: sim.metrics().clone(),
             throughput,
             finished_at: sim.now(),
@@ -153,7 +177,8 @@ impl<S: StateMachine> SmrBuilder<S> {
 /// Result of an SMR run.
 #[derive(Clone, Debug)]
 pub struct SmrOutcome<S: StateMachine = KvStore> {
-    /// Per-replica decided entry logs.
+    /// Per-replica *resident* decided entry logs (the full logs unless
+    /// checkpoint truncation ran; see [`log_offsets`](Self::log_offsets)).
     pub logs: Vec<Vec<Entry<S::Op>>>,
     /// Per-replica final application states.
     pub states: Vec<S>,
@@ -161,9 +186,19 @@ pub struct SmrOutcome<S: StateMachine = KvStore> {
     /// end of the run (bounded by the pipeline depth: applied slots are
     /// pruned).
     pub resident_slots: Vec<usize>,
-    /// Per-replica count of messages dropped by the bounded future-slot
-    /// buffer (zero in honest runs).
+    /// Per-replica count of rejected messages: bounded future-slot
+    /// buffer drops plus invalid checkpoint traffic (zero in honest
+    /// runs).
     pub dropped_messages: Vec<u64>,
+    /// Per-replica count of entries truncated below the stable checkpoint
+    /// (all zero with checkpointing disabled).
+    pub log_offsets: Vec<u64>,
+    /// Per-replica running digest chain over every entry ever applied —
+    /// what full-log equality is checked against once truncation makes
+    /// resident logs incomparable.
+    pub log_digests: Vec<Digest>,
+    /// Per-replica checkpoint / truncation / transfer counters.
+    pub checkpoints: Vec<CheckpointStats>,
     /// Message metrics.
     pub metrics: MessageMetrics,
     /// Commands/slots/ticks throughput accounting (measured at replica 0).
@@ -175,11 +210,23 @@ pub struct SmrOutcome<S: StateMachine = KvStore> {
 }
 
 impl<S: StateMachine> SmrOutcome<S> {
-    /// Whether all replicas hold identical logs (prefix equality over the
-    /// common length is the SMR safety property; full equality holds here
-    /// because the run stops at a fixed target length).
+    /// Per-replica *total* log length: truncated plus resident entries.
+    pub fn total_log_lens(&self) -> Vec<u64> {
+        self.logs
+            .iter()
+            .zip(&self.log_offsets)
+            .map(|(log, offset)| offset + log.len() as u64)
+            .collect()
+    }
+
+    /// Whether all replicas hold the identical logical log. Compared via
+    /// total length plus the running SHA-256 entry chain, so replicas
+    /// that truncated different prefixes behind stable checkpoints still
+    /// compare over their *full* histories, not just the resident
+    /// suffixes.
     pub fn logs_consistent(&self) -> bool {
-        self.logs.windows(2).all(|w| w[0] == w[1])
+        let lens = self.total_log_lens();
+        lens.windows(2).all(|w| w[0] == w[1]) && self.log_digests.windows(2).all(|w| w[0] == w[1])
     }
 
     /// Whether all replicas reached identical application state.
@@ -187,7 +234,8 @@ impl<S: StateMachine> SmrOutcome<S> {
         self.states.windows(2).all(|w| w[0] == w[1])
     }
 
-    /// The agreed log, if consistent.
+    /// Replica 0's resident log, if all logs agree (the full agreed log
+    /// when nothing was truncated).
     pub fn agreed_log(&self) -> Option<&[Entry<S::Op>]> {
         self.logs_consistent().then(|| self.logs[0].as_slice())
     }

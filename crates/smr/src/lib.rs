@@ -23,6 +23,14 @@
 //! reference machine is the [`KvStore`]; anything wire-codable replicates
 //! the same way.
 //!
+//! Memory is bounded PBFT-style (§4.3 of Castro–Liskov): with a
+//! [`checkpoint_interval`](SmrSettings::checkpoint_interval) set, nodes
+//! periodically snapshot their state (reply cache included), exchange
+//! signed [`CheckpointVote`]s, and — once a quorum attests the same
+//! digest — truncate the command log below the *stable* checkpoint.
+//! Laggards past the buffering horizon catch up by verified snapshot
+//! transfer ([`StateRequest`]/[`StateReply`]) instead of log replay.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,15 +54,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod harness;
 pub mod kv;
 pub mod machine;
 pub mod node;
 
+pub use checkpoint::{
+    CheckpointStats, CheckpointVote, Snapshot, StableCheckpoint, StateReply, StateRequest,
+};
 pub use harness::{SmrBuilder, SmrOutcome};
 pub use kv::{Command, KvResponse, KvStore};
 pub use machine::{Batch, Consistency, Entry, OpKind, RequestId, StateMachine, MAX_BATCH};
 pub use node::{
-    AppliedRequest, SlotMessage, SmrNode, SmrSettings, FUTURE_WINDOW_DEPTHS, MAX_BUFFERED_PER_SLOT,
-    MIN_FUTURE_WINDOW,
+    AppliedRequest, SlotMessage, SmrMessage, SmrNode, SmrSettings, FALLBACK_FUTURE_WINDOW_DEPTHS,
+    FALLBACK_MIN_FUTURE_WINDOW, FUTURE_WINDOW_DEPTHS, MAX_BUFFERED_PER_SLOT,
+    MAX_TRACKED_CHECKPOINT_SLOTS, MIN_FUTURE_WINDOW,
 };

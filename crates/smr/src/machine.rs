@@ -23,10 +23,13 @@ use std::fmt;
 /// responses — that is the whole contract of state-machine replication.
 ///
 /// The `Default` value is the genesis state every replica starts from;
-/// `Clone + PartialEq` let the harness compare replicated states, and
+/// `Clone + PartialEq` let the harness compare replicated states,
 /// `Send + 'static` let the live TCP runtime host a machine per replica
-/// thread.
-pub trait StateMachine: Clone + Default + PartialEq + fmt::Debug + Send + 'static {
+/// thread, and `Wire` makes the state checkpointable: the default
+/// [`snapshot`](Self::snapshot) / [`restore`](Self::restore) pair reuses
+/// the machine's wire codec, so any machine that can travel can also be
+/// checkpointed, truncated behind, and state-transferred to a laggard.
+pub trait StateMachine: Clone + Default + PartialEq + fmt::Debug + Wire + Send + 'static {
     /// One operation against the machine, wire-codable so it can travel
     /// inside consensus values and client frames.
     type Op: Wire + Clone + PartialEq + fmt::Debug + fmt::Display + Send + 'static;
@@ -48,6 +51,27 @@ pub trait StateMachine: Clone + Default + PartialEq + fmt::Debug + Send + 'stati
     /// should override it.
     fn query(&self, op: &Self::Op) -> Self::Response {
         self.clone().apply(op)
+    }
+
+    /// Serializes the full application state for a checkpoint. The
+    /// default is the machine's wire encoding; machines with cheaper
+    /// incremental representations may override it, as long as
+    /// `restore(snapshot())` reproduces an equal state — replicas compare
+    /// snapshot digests, so the encoding must be deterministic.
+    fn snapshot(&self) -> Vec<u8> {
+        self.to_wire_bytes()
+    }
+
+    /// Replaces the state with one produced by [`snapshot`]
+    /// (Self::snapshot) — the receiving half of checkpoint state
+    /// transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is not a valid snapshot.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        *self = Self::from_wire_bytes(bytes)?;
+        Ok(())
     }
 }
 

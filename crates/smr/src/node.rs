@@ -27,6 +27,9 @@
 //! [`SmrNode::drain_applied`] so the embedding runtime can answer the
 //! submitting client with the actual result, not a bare acknowledgement.
 
+use crate::checkpoint::{
+    CheckpointStats, CheckpointVote, Snapshot, StableCheckpoint, StateReply, StateRequest,
+};
 use crate::machine::{Batch, Entry, OpKind, RequestId, StateMachine};
 use probft_core::config::{SharedConfig, View};
 use probft_core::message::Message;
@@ -35,6 +38,7 @@ use probft_core::value::Value;
 use probft_core::wire::{put, Reader, Wire, WireError};
 use probft_crypto::keyring::PublicKeyring;
 use probft_crypto::schnorr::SigningKey;
+use probft_crypto::sha256::{Digest, Sha256};
 use probft_quorum::ReplicaId;
 use probft_simnet::metrics::Measurable;
 use probft_simnet::process::{Action, Context, Process, ProcessId, TimerToken};
@@ -74,6 +78,41 @@ impl Wire for SlotMessage {
     }
 }
 
+/// Everything one [`SmrNode`] says to another: per-slot consensus traffic
+/// plus the checkpoint subsystem's attestations and snapshot transfers.
+/// The simulator delivers these directly; the live runtime maps each
+/// variant onto its own self-describing `SmrFrame`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SmrMessage {
+    /// Slot-tagged single-shot consensus traffic.
+    Slot(SlotMessage),
+    /// A signed checkpoint attestation.
+    CheckpointVote(CheckpointVote),
+    /// A laggard asking for a stable-checkpoint snapshot.
+    StateRequest(StateRequest),
+    /// A stable-checkpoint snapshot in flight to a laggard.
+    StateReply(StateReply),
+}
+
+impl Measurable for SmrMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            SmrMessage::Slot(m) => m.kind(),
+            SmrMessage::CheckpointVote(_) => "checkpoint-vote",
+            SmrMessage::StateRequest(_) => "state-request",
+            SmrMessage::StateReply(_) => "state-reply",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            SmrMessage::Slot(m) => m.wire_size(),
+            SmrMessage::CheckpointVote(v) => v.to_wire_bytes().len(),
+            SmrMessage::StateRequest(r) => r.to_wire_bytes().len(),
+            SmrMessage::StateReply(r) => r.to_wire_bytes().len(),
+        }
+    }
+}
+
 /// Replication parameters shared by every node of a cluster.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SmrSettings {
@@ -90,6 +129,12 @@ pub struct SmrSettings {
     /// workload mode) slots open eagerly up to the pipeline window until
     /// `target_len` is reached.
     pub lazy_open: bool,
+    /// Take a checkpoint every this many applied slots (0 disables the
+    /// checkpoint subsystem). With a quorum of matching attestations the
+    /// checkpoint becomes *stable*: the command log is truncated below it
+    /// and laggards past the buffering horizon catch up by snapshot
+    /// transfer instead of log replay.
+    pub checkpoint_interval: usize,
 }
 
 impl SmrSettings {
@@ -101,18 +146,22 @@ impl SmrSettings {
             pipeline_depth: 1,
             batch_size: 1,
             lazy_open: false,
+            checkpoint_interval: 0,
         }
     }
 
     /// Open-ended, demand-driven replication for a live cluster serving
     /// client traffic: no target length, slots open only for what actually
-    /// arrived.
+    /// arrived. Checkpointing starts disabled; set
+    /// [`checkpoint_interval`](Self::checkpoint_interval) to bound the
+    /// resident log.
     pub fn live(pipeline_depth: usize, batch_size: usize) -> Self {
         SmrSettings {
             target_len: usize::MAX,
             pipeline_depth,
             batch_size,
             lazy_open: true,
+            checkpoint_interval: 0,
         }
         .normalized()
     }
@@ -121,6 +170,21 @@ impl SmrSettings {
         self.pipeline_depth = self.pipeline_depth.max(1);
         self.batch_size = self.batch_size.max(1);
         self
+    }
+
+    /// How many slots ahead of the lowest unapplied slot this node
+    /// buffers traffic for. With checkpointing enabled the horizon is
+    /// tight — anyone dropped beyond it recovers by snapshot state
+    /// transfer. Without it there is no recovery path for a stranded
+    /// laggard (peers prune decided slots and never retransmit), so the
+    /// wide pre-checkpointing slack is kept.
+    pub fn future_window(&self) -> u64 {
+        let depth = self.pipeline_depth as u64;
+        if self.checkpoint_interval == 0 {
+            (depth * FALLBACK_FUTURE_WINDOW_DEPTHS).max(FALLBACK_MIN_FUTURE_WINDOW)
+        } else {
+            (depth * FUTURE_WINDOW_DEPTHS).max(MIN_FUTURE_WINDOW)
+        }
     }
 }
 
@@ -131,19 +195,47 @@ pub const MAX_BUFFERED_PER_SLOT: usize = 1024;
 
 /// How many slots ahead of the lowest unapplied slot a node accepts
 /// buffered traffic for, as a multiple of the pipeline depth (with a
-/// floor, so shallow pipelines still tolerate honest skew). Peers can
-/// transiently run ahead of a lagging replica by more than one pipeline
-/// window — their quorums need not include the laggard — and without
-/// retransmission or state transfer (ROADMAP: checkpointing), dropping
-/// honest in-horizon traffic would stall the laggard. Beyond the horizon
-/// the sender is either Byzantine (spraying far-future slot numbers) or
-/// so far ahead that only a future checkpoint transfer could help, so the
-/// message is dropped and counted instead of growing memory without
-/// bound.
-pub const FUTURE_WINDOW_DEPTHS: u64 = 4;
+/// floor, so shallow pipelines still tolerate honest skew) — when
+/// checkpointing is enabled. Peers can transiently run ahead of a
+/// lagging replica — their quorums need not include the laggard — so one
+/// extra pipeline window of slack absorbs honest skew; beyond that, the
+/// sender is either Byzantine (spraying far-future slot numbers) or far
+/// enough ahead that the laggard recovers by checkpoint state transfer,
+/// so the message is dropped and counted instead of growing memory.
+pub const FUTURE_WINDOW_DEPTHS: u64 = 2;
 
-/// Floor for the buffering horizon in slots.
-pub const MIN_FUTURE_WINDOW: u64 = 16;
+/// Floor for the buffering horizon in slots, with checkpointing enabled.
+pub const MIN_FUTURE_WINDOW: u64 = 8;
+
+/// The buffering horizon multiple with checkpointing *disabled*: no
+/// state transfer exists, so dropping honest in-horizon traffic would
+/// strand a laggard forever — the horizon errs wide, as it did before
+/// the checkpoint subsystem.
+pub const FALLBACK_FUTURE_WINDOW_DEPTHS: u64 = 4;
+
+/// Floor for the buffering horizon in slots, with checkpointing
+/// disabled.
+pub const FALLBACK_MIN_FUTURE_WINDOW: u64 = 16;
+
+/// Most distinct checkpoint slots a node tracks attestations for. Honest
+/// clusters have votes in flight for one or two boundaries; a Byzantine
+/// peer spraying far-future checkpoint slots (each costing it one signed
+/// vote) hits this cap and evicts its own least-supported slots first.
+pub const MAX_TRACKED_CHECKPOINT_SLOTS: usize = 64;
+
+/// Most locally-taken checkpoints retained while awaiting stability; if
+/// attestation quorums lag by more than this many intervals, the oldest
+/// unstable snapshot is discarded (it can be rebuilt from newer ones).
+const MAX_PENDING_CHECKPOINTS: usize = 4;
+
+/// A locally produced checkpoint awaiting a stability quorum.
+struct OwnCheckpoint {
+    digest: Digest,
+    /// Total log entries at the checkpoint (the truncation mark).
+    log_len: u64,
+    /// The encoded [`Snapshot`].
+    bytes: Vec<u8>,
+}
 
 /// Notification that a client-tagged entry reached the applied log —
 /// drained by the embedding runtime to answer the submitting client with
@@ -185,8 +277,10 @@ pub struct SmrNode<S: StateMachine> {
     /// unapplied slot are buffered, and each slot buffers at most
     /// [`MAX_BUFFERED_PER_SLOT`] messages.
     future: BTreeMap<u64, Vec<Message>>,
-    /// Messages dropped because they were outside the buffering window
-    /// (far-future slot spray, stale slots) or over the per-slot cap.
+    /// Messages rejected: outside the buffering window (far-future slot
+    /// spray, stale slots), over the per-slot cap, or invalid checkpoint
+    /// traffic (forged/misaligned votes, unverifiable state replies,
+    /// vote-table evictions, attested-digest disagreement).
     dropped_messages: u64,
     /// The lowest slot whose decision has not been applied yet.
     next_apply: u64,
@@ -208,8 +302,39 @@ pub struct SmrNode<S: StateMachine> {
     /// large the inner (view-carrying) tokens grow.
     timers: BTreeMap<u64, (u64, TimerToken)>,
     next_timer: u64,
-    /// Decided entries in slot order.
+    /// Decided entries in slot order — the *resident* suffix of the
+    /// logical log: entries below the stable checkpoint are truncated and
+    /// survive only in `log_offset`/`log_digest` and the snapshot.
     log: Vec<Entry<S::Op>>,
+    /// Entries truncated below the stable checkpoint (the resident log's
+    /// global starting index).
+    log_offset: u64,
+    /// Running SHA-256 chain over every entry ever applied. Two replicas
+    /// with equal `(log_offset + log.len(), log_digest)` hold the
+    /// identical logical log, however differently they truncated.
+    log_digest: Digest,
+    /// Locally taken checkpoints awaiting a stability quorum, by slot.
+    own_checkpoints: BTreeMap<u64, OwnCheckpoint>,
+    /// Checkpoint attestations by slot, one vote per replica (first one
+    /// wins — a Byzantine double-vote never counts twice). The full
+    /// signed votes are kept, so a stability quorum doubles as a
+    /// transferable *certificate*. Bounded by
+    /// [`MAX_TRACKED_CHECKPOINT_SLOTS`] slots of at most `n` votes each.
+    votes: BTreeMap<u64, BTreeMap<ReplicaId, CheckpointVote>>,
+    /// Per peer: the stable-checkpoint slot last sent to it (serving a
+    /// [`StateRequest`] or pushing after observing sub-checkpoint
+    /// traffic). Caps snapshot sends at one per peer per stable
+    /// checkpoint — a forged request cannot reflect more than one
+    /// snapshot per checkpoint at a victim. Bounded by `n`.
+    served_checkpoints: BTreeMap<u32, u64>,
+    /// The highest checkpoint this node saw become stable, with its
+    /// snapshot (served to laggards on [`StateRequest`]).
+    stable: Option<StableCheckpoint>,
+    /// A stable checkpoint known to exist beyond this node's pipeline
+    /// window — state transfer has been requested and not yet completed.
+    transfer_wanted: Option<(u64, Digest)>,
+    /// Checkpoint / truncation / transfer counters.
+    ckpt_stats: CheckpointStats,
     /// The application state machine.
     state: S,
     /// Per client: the highest applied request sequence number and the
@@ -250,6 +375,14 @@ impl<S: StateMachine> SmrNode<S> {
             timers: BTreeMap::new(),
             next_timer: 0,
             log: Vec::new(),
+            log_offset: 0,
+            log_digest: log_genesis(),
+            own_checkpoints: BTreeMap::new(),
+            votes: BTreeMap::new(),
+            served_checkpoints: BTreeMap::new(),
+            stable: None,
+            transfer_wanted: None,
+            ckpt_stats: CheckpointStats::default(),
             state: S::default(),
             applied_requests: BTreeMap::new(),
             applied_events: Vec::new(),
@@ -257,9 +390,38 @@ impl<S: StateMachine> SmrNode<S> {
         }
     }
 
-    /// The decided entry log so far.
+    /// The *resident* decided entry log: the suffix above the stable
+    /// checkpoint (the full log, while nothing has been truncated).
     pub fn log(&self) -> &[Entry<S::Op>] {
         &self.log
+    }
+
+    /// Entries truncated below the stable checkpoint — the global index
+    /// of `log()[0]`.
+    pub fn log_offset(&self) -> u64 {
+        self.log_offset
+    }
+
+    /// Total entries ever applied: truncated plus resident.
+    pub fn total_log_len(&self) -> u64 {
+        self.log_offset + self.log.len() as u64
+    }
+
+    /// Running digest chain over every entry ever applied. Equal
+    /// `(total_log_len, log_digest)` pairs identify identical logical
+    /// logs across replicas that truncated at different checkpoints.
+    pub fn log_digest(&self) -> Digest {
+        self.log_digest
+    }
+
+    /// Checkpoint / truncation / state-transfer counters.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.ckpt_stats
+    }
+
+    /// The highest checkpoint this node saw become stable, if any.
+    pub fn stable_checkpoint(&self) -> Option<&StableCheckpoint> {
+        self.stable.as_ref()
     }
 
     /// The application state.
@@ -269,7 +431,7 @@ impl<S: StateMachine> SmrNode<S> {
 
     /// Whether the node has applied its target number of entries.
     pub fn done(&self) -> bool {
-        self.log.len() >= self.settings.target_len
+        self.total_log_len() >= self.settings.target_len as u64
     }
 
     /// Slots this node has opened (including in-flight ones).
@@ -293,8 +455,11 @@ impl<S: StateMachine> SmrNode<S> {
         self.slots.len()
     }
 
-    /// Messages dropped for being outside the bounded buffering window or
-    /// over the per-slot buffer cap (misbehaving-peer pressure released).
+    /// Messages rejected by this node: outside the bounded buffering
+    /// window, over the per-slot buffer cap, or invalid checkpoint
+    /// traffic (forged or misaligned votes, unverifiable state replies,
+    /// vote-table evictions, and attested-digest disagreement — the last
+    /// signalling this replica diverged from a checkpoint quorum).
     pub fn dropped_messages(&self) -> u64 {
         self.dropped_messages
     }
@@ -362,9 +527,28 @@ impl<S: StateMachine> SmrNode<S> {
     /// pipeline window allows. The live runtime calls this on the leader
     /// for each accepted client request (writes *and* linearizable
     /// reads).
-    pub fn submit(&mut self, entry: Entry<S::Op>, ctx: &mut Context<'_, SlotMessage>) {
+    pub fn submit(&mut self, entry: Entry<S::Op>, ctx: &mut Context<'_, SmrMessage>) {
         self.pending.push_back(entry);
         self.open_ready_slots(ctx);
+    }
+
+    /// Opens one slot on an otherwise idle node (lazy mode only) — the
+    /// follower-initiated probe behind the never-view-changed
+    /// idle-leader-crash case. A follower that keeps being contacted by
+    /// clients while the leader it redirects them to stays silent calls
+    /// this: the probe slot's view-1 leader times out, the view-change
+    /// machinery runs, and the next decision repoints every redirect hint
+    /// at the live leader. Proposes whatever is pending locally (usually
+    /// an empty batch), so a spurious probe costs one empty slot, never
+    /// safety.
+    pub fn probe_open(&mut self, ctx: &mut Context<'_, SmrMessage>) -> bool {
+        if !self.settings.lazy_open || !self.slots.is_empty() || self.next_open > self.next_apply {
+            return false;
+        }
+        let slot = self.next_open;
+        self.next_open += 1;
+        self.open_slot(slot, ctx);
+        true
     }
 
     /// Removes and returns the apply notifications (with typed responses)
@@ -390,8 +574,8 @@ impl<S: StateMachine> SmrNode<S> {
     /// Opens every slot the pipeline window allows. In lazy (live) mode a
     /// slot is only opened while entries are pending locally — peers
     /// instead open slots on demand when traffic for them arrives.
-    fn open_ready_slots(&mut self, ctx: &mut Context<'_, SlotMessage>) {
-        while self.log.len() < self.settings.target_len
+    fn open_ready_slots(&mut self, ctx: &mut Context<'_, SmrMessage>) {
+        while self.total_log_len() < self.settings.target_len as u64
             && self.next_open < self.next_apply + self.settings.pipeline_depth as u64
         {
             if self.settings.lazy_open && self.pending.is_empty() {
@@ -404,7 +588,7 @@ impl<S: StateMachine> SmrNode<S> {
     }
 
     /// Opens slot `slot` and runs its `on_start`.
-    fn open_slot(&mut self, slot: u64, ctx: &mut Context<'_, SlotMessage>) {
+    fn open_slot(&mut self, slot: u64, ctx: &mut Context<'_, SmrMessage>) {
         let value = self.next_value();
         let mut replica = Replica::new(
             self.cfg.clone(),
@@ -434,11 +618,13 @@ impl<S: StateMachine> SmrNode<S> {
         &mut self,
         slot: u64,
         actions: Vec<Action<Message>>,
-        ctx: &mut Context<'_, SlotMessage>,
+        ctx: &mut Context<'_, SmrMessage>,
     ) {
         for action in actions {
             match action {
-                Action::Send { to, msg } => ctx.send(to, SlotMessage { slot, inner: msg }),
+                Action::Send { to, msg } => {
+                    ctx.send(to, SmrMessage::Slot(SlotMessage { slot, inner: msg }))
+                }
                 Action::SetTimer { delay, token } => {
                     let outer = self.next_timer;
                     self.next_timer += 1;
@@ -457,7 +643,7 @@ impl<S: StateMachine> SmrNode<S> {
         slot: u64,
         from: Option<ProcessId>,
         event: DispatchEvent,
-        ctx: &mut Context<'_, SlotMessage>,
+        ctx: &mut Context<'_, SmrMessage>,
     ) {
         let Some(replica) = self.slots.get_mut(&slot) else {
             return;
@@ -486,9 +672,10 @@ impl<S: StateMachine> SmrNode<S> {
     }
 
     /// Applies decided slots in order, prunes their consensus state, and
-    /// refills the pipeline window.
-    fn advance(&mut self, ctx: &mut Context<'_, SlotMessage>) {
-        while self.log.len() < self.settings.target_len {
+    /// refills the pipeline window. Every `checkpoint_interval` applied
+    /// slots the node snapshots its state and broadcasts an attestation.
+    fn advance(&mut self, ctx: &mut Context<'_, SmrMessage>) {
+        while self.total_log_len() < self.settings.target_len as u64 {
             let Some(decision) = self.slots.get(&self.next_apply).and_then(|r| r.decision()) else {
                 break;
             };
@@ -501,10 +688,10 @@ impl<S: StateMachine> SmrNode<S> {
                 self.apply_entry(entry, slot);
             }
             // The slot is applied: free its replica and message state.
-            // Only the log and machine state outlive a slot (the minimal
-            // precursor to checkpointing / log truncation).
+            // Only the log, machine state, and checkpoints outlive a slot.
             self.slots.remove(&slot);
             self.next_apply += 1;
+            self.maybe_take_checkpoint(ctx);
             self.open_ready_slots(ctx);
         }
         debug_assert!(
@@ -563,8 +750,384 @@ impl<S: StateMachine> SmrNode<S> {
                 OpKind::Read => {}
             },
         }
+        self.log_digest =
+            Sha256::digest_parts(&[self.log_digest.as_bytes(), &entry.to_wire_bytes()]);
         self.log.push(entry);
     }
+
+    // ------------------------------------------------------------------
+    // Checkpointing, truncation, and state transfer (PBFT §4.3 style).
+    // ------------------------------------------------------------------
+
+    fn stable_slot(&self) -> u64 {
+        self.stable.as_ref().map_or(0, |s| s.slot)
+    }
+
+    /// At an interval boundary: snapshot the replicated state, remember it
+    /// pending stability, and broadcast a signed attestation of its
+    /// digest.
+    fn maybe_take_checkpoint(&mut self, ctx: &mut Context<'_, SmrMessage>) {
+        let interval = self.settings.checkpoint_interval as u64;
+        if interval == 0 || self.next_apply == 0 || !self.next_apply.is_multiple_of(interval) {
+            return;
+        }
+        let slot = self.next_apply;
+        if slot <= self.stable_slot() || self.own_checkpoints.contains_key(&slot) {
+            return;
+        }
+        let snapshot = Snapshot {
+            slot,
+            log_len: self.total_log_len(),
+            log_digest: self.log_digest,
+            state: self.state.clone(),
+            replies: self.applied_requests.clone(),
+        };
+        let bytes = snapshot.to_wire_bytes();
+        let digest = Snapshot::<S>::digest(&bytes);
+        self.own_checkpoints.insert(
+            slot,
+            OwnCheckpoint {
+                digest,
+                log_len: snapshot.log_len,
+                bytes,
+            },
+        );
+        // Stability quorums normally lag by a round-trip, not by whole
+        // intervals; if they do fall behind, the oldest pending snapshot
+        // is expendable (a newer one subsumes it).
+        while self.own_checkpoints.len() > MAX_PENDING_CHECKPOINTS {
+            self.own_checkpoints.pop_first();
+        }
+        self.ckpt_stats.taken += 1;
+        let vote = CheckpointVote::sign(&self.sk, self.id, slot, digest);
+        for peer in self.cfg.all_replicas() {
+            if peer != self.id {
+                ctx.send(
+                    ProcessId(peer.index()),
+                    SmrMessage::CheckpointVote(vote.clone()),
+                );
+            }
+        }
+        // Peers may have attested this boundary before we reached it;
+        // recording our own vote may complete the quorum right here.
+        self.record_vote(vote, ctx);
+    }
+
+    /// Records one (already signature-checked) attestation and acts if it
+    /// completes a quorum. One vote per replica per slot; tracked slots
+    /// are bounded against far-future checkpoint spray.
+    fn record_vote(&mut self, vote: CheckpointVote, ctx: &mut Context<'_, SmrMessage>) {
+        let interval = self.settings.checkpoint_interval as u64;
+        if interval == 0 || vote.slot == 0 || !vote.slot.is_multiple_of(interval) {
+            self.dropped_messages += 1;
+            return;
+        }
+        if vote.slot <= self.stable_slot() {
+            return; // old news, already stable here
+        }
+        let slot = vote.slot;
+        let slot_votes = self.votes.entry(slot).or_default();
+        if slot_votes.contains_key(&vote.from) {
+            return; // first vote per replica per slot wins
+        }
+        slot_votes.insert(vote.from, vote);
+        if self.votes.len() > MAX_TRACKED_CHECKPOINT_SLOTS {
+            // Evict the least-supported tracked slot (ties: the highest,
+            // i.e. the most future — the shape of a spray).
+            if let Some(&evict) = self
+                .votes
+                .iter()
+                .min_by_key(|(s, v)| (v.len(), std::cmp::Reverse(**s)))
+                .map(|(s, _)| s)
+            {
+                self.votes.remove(&evict);
+                self.dropped_messages += 1;
+                if evict == slot {
+                    return;
+                }
+            }
+        }
+        self.check_stability(slot, ctx);
+    }
+
+    /// If `slot` has a digest attested by a deterministic quorum, the
+    /// checkpoint is stable: adopt-and-truncate if we have applied that
+    /// far, or request a snapshot transfer if it is beyond the pipeline
+    /// window (consensus cannot recover those slots — peers prune decided
+    /// slot state on apply and never retransmit).
+    fn check_stability(&mut self, slot: u64, ctx: &mut Context<'_, SmrMessage>) {
+        let quorum = self.cfg.deterministic_quorum();
+        let Some(slot_votes) = self.votes.get(&slot) else {
+            return;
+        };
+        let mut counts: BTreeMap<Digest, usize> = BTreeMap::new();
+        for vote in slot_votes.values() {
+            *counts.entry(vote.digest).or_default() += 1;
+        }
+        let Some((&digest, _)) = counts.iter().find(|(_, &count)| count >= quorum) else {
+            return;
+        };
+        if slot <= self.next_apply {
+            self.adopt_stable(slot, digest);
+        } else if slot > self.next_apply + self.settings.pipeline_depth as u64
+            && self.transfer_wanted != Some((slot, digest))
+        {
+            // Beyond anything in-flight consensus can still decide for
+            // us: fetch the snapshot from the replicas that attested it.
+            // `f + 1` recipients guarantee at least one honest holder
+            // without soliciting a quorum's worth of redundant
+            // snapshot-sized replies; the next boundary's quorum is the
+            // retry path if all of them fail.
+            self.transfer_wanted = Some((slot, digest));
+            let voters: Vec<ReplicaId> = self
+                .votes
+                .get(&slot)
+                .map(|v| {
+                    v.values()
+                        .filter(|vote| vote.digest == digest && vote.from != self.id)
+                        .map(|vote| vote.from)
+                        .take(self.cfg.faults() + 1)
+                        .collect()
+                })
+                .unwrap_or_default();
+            for voter in voters {
+                ctx.send(
+                    ProcessId(voter.index()),
+                    SmrMessage::StateRequest(StateRequest { min_slot: slot }),
+                );
+            }
+        }
+        // Otherwise the slot is inside the pipeline window: in-flight
+        // consensus will carry us there, and our own checkpoint at that
+        // boundary will re-run this check and adopt.
+    }
+
+    /// Marks `slot` stable and truncates everything at or below it: log
+    /// entries below the checkpoint's mark, older pending checkpoints,
+    /// and votes.
+    fn adopt_stable(&mut self, slot: u64, digest: Digest) {
+        if slot <= self.stable_slot() {
+            return;
+        }
+        let Some(own) = self.own_checkpoints.remove(&slot) else {
+            return; // pending snapshot was evicted; the next boundary will stabilise
+        };
+        if own.digest != digest {
+            // A quorum attested a state we do not hold: this replica has
+            // diverged (or the quorum is corrupt). Keep serving from the
+            // old checkpoint and surface the disagreement as a drop.
+            self.own_checkpoints.insert(slot, own);
+            self.dropped_messages += 1;
+            return;
+        }
+        let drop = usize::try_from(own.log_len.saturating_sub(self.log_offset))
+            .unwrap_or(0)
+            .min(self.log.len());
+        self.log.drain(..drop);
+        self.log_offset += drop as u64;
+        self.ckpt_stats.truncated_entries += drop as u64;
+        self.ckpt_stats.stable_slot = slot;
+        // The quorum of signed votes is the checkpoint's certificate:
+        // kept alongside the snapshot so served/pushed copies prove
+        // themselves to receivers with no vote state of their own.
+        let certificate: Vec<CheckpointVote> = self
+            .votes
+            .get(&slot)
+            .map(|v| {
+                v.values()
+                    .filter(|vote| vote.digest == digest)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.stable = Some(StableCheckpoint {
+            slot,
+            digest,
+            log_len: own.log_len,
+            snapshot: own.bytes,
+            certificate,
+        });
+        self.own_checkpoints.retain(|&s, _| s > slot);
+        self.votes.retain(|&s, _| s > slot);
+        if self.transfer_wanted.is_some_and(|(s, _)| s <= slot) {
+            self.transfer_wanted = None;
+        }
+    }
+
+    /// Serves a laggard's [`StateRequest`] from the stable checkpoint —
+    /// at most once per peer per stable checkpoint. The cap is what keeps
+    /// the unauthenticated request harmless: `from` is only as trusted as
+    /// the connection that carried it, so without the cap a forger could
+    /// reflect unbounded snapshot-sized replies at a third replica. A
+    /// genuine laggard whose one reply is lost retries via the next
+    /// boundary's quorum (a *new* stable slot, which re-arms the cap).
+    fn handle_state_request(
+        &mut self,
+        from: ProcessId,
+        req: StateRequest,
+        ctx: &mut Context<'_, SmrMessage>,
+    ) {
+        let Some(stable) = &self.stable else {
+            return;
+        };
+        if stable.slot < req.min_slot {
+            return;
+        }
+        self.send_checkpoint(from, ctx);
+    }
+
+    /// Sends the stable checkpoint (snapshot + certificate) to `to`,
+    /// unless that peer was already sent this checkpoint.
+    fn send_checkpoint(&mut self, to: ProcessId, ctx: &mut Context<'_, SmrMessage>) {
+        if to.index() >= self.cfg.n() {
+            return;
+        }
+        let Some(stable) = &self.stable else {
+            return;
+        };
+        let peer = to.index() as u32;
+        if self.served_checkpoints.get(&peer).copied().unwrap_or(0) >= stable.slot {
+            return;
+        }
+        self.served_checkpoints.insert(peer, stable.slot);
+        self.ckpt_stats.snapshots_served += 1;
+        ctx.send(
+            to,
+            SmrMessage::StateReply(StateReply {
+                slot: stable.slot,
+                snapshot: stable.snapshot.clone(),
+                certificate: stable.certificate.clone(),
+            }),
+        );
+    }
+
+    /// Pushes the stable checkpoint to a peer observed sending traffic
+    /// for a slot *below* it: that peer can never decide those slots
+    /// again (they are truncated cluster-wide), and the votes that would
+    /// have told it so were broadcast once, long ago — so the checkpoint
+    /// must come to it. At most one send per peer per stable checkpoint;
+    /// the self-proving certificate makes the unsolicited reply safe to
+    /// accept.
+    fn maybe_push_checkpoint(
+        &mut self,
+        to: ProcessId,
+        slot: u64,
+        ctx: &mut Context<'_, SmrMessage>,
+    ) {
+        if self.stable.as_ref().is_none_or(|s| slot >= s.slot) {
+            return; // ordinary frontier skew, not a stranded laggard
+        }
+        self.send_checkpoint(to, ctx);
+    }
+
+    /// Verifies a transferred snapshot against its embedded certificate
+    /// and restores from it. The reply is self-proving: every vote in the
+    /// certificate must carry a valid Schnorr signature over the same
+    /// `(slot, digest)`, distinct signers must reach the deterministic
+    /// quorum, and the attested digest must equal the payload's own —
+    /// so both solicited replies and unsolicited catch-up pushes are
+    /// accepted on identical evidence, and no local vote state is
+    /// required.
+    fn handle_state_reply(&mut self, rep: StateReply, ctx: &mut Context<'_, SmrMessage>) {
+        let interval = self.settings.checkpoint_interval as u64;
+        if interval == 0 || !rep.slot.is_multiple_of(interval) {
+            self.dropped_messages += 1;
+            return;
+        }
+        // Mirror the request condition: a transfer is only *useful* (and
+        // only ever requested or pushed) for a checkpoint beyond the
+        // pipeline window. A replayed-but-genuine reply for an in-window
+        // slot must not wipe live in-flight consensus state — those
+        // slots' traffic was already consumed and peers never retransmit.
+        if rep.slot <= self.next_apply + self.settings.pipeline_depth as u64 {
+            return;
+        }
+        let digest = Snapshot::<S>::digest(&rep.snapshot);
+        if !self.certificate_proves(&rep, digest) {
+            self.dropped_messages += 1;
+            return;
+        }
+        let Ok(snapshot) = Snapshot::<S>::from_wire_bytes(&rep.snapshot) else {
+            self.dropped_messages += 1;
+            return;
+        };
+        if snapshot.slot != rep.slot {
+            self.dropped_messages += 1;
+            return;
+        }
+        self.restore_from(snapshot, rep, digest, ctx);
+    }
+
+    /// Whether a reply's certificate is a valid stability quorum for
+    /// exactly (`rep.slot`, `digest`). Strict: one malformed vote damns
+    /// the whole certificate (honest senders only ship valid ones).
+    fn certificate_proves(&self, rep: &StateReply, digest: Digest) -> bool {
+        let quorum = self.cfg.deterministic_quorum();
+        let n = self.cfg.n();
+        let mut signers = std::collections::BTreeSet::new();
+        for vote in &rep.certificate {
+            if vote.slot != rep.slot
+                || vote.digest != digest
+                || vote.from.index() >= n
+                || !vote.verify(&self.keys)
+            {
+                return false;
+            }
+            signers.insert(vote.from);
+        }
+        signers.len() >= quorum
+    }
+
+    /// Jumps the node to a verified checkpoint: replicated state, reply
+    /// cache, and log bookkeeping come from the snapshot; every in-flight
+    /// slot below it is obsolete and dropped. Consensus resumes from the
+    /// checkpoint slot — transferred entries produce no
+    /// [`drain_applied`](Self::drain_applied) events (their clients were
+    /// answered by the replicas that applied them; the restored reply
+    /// cache still answers retries).
+    fn restore_from(
+        &mut self,
+        snapshot: Snapshot<S>,
+        rep: StateReply,
+        digest: Digest,
+        ctx: &mut Context<'_, SmrMessage>,
+    ) {
+        self.state = snapshot.state;
+        self.applied_requests = snapshot.replies;
+        // `last_decided_view` is deliberately NOT in the snapshot (it is a
+        // replica-local observation, not agreed state): the restored node
+        // keeps its own hint, which self-heals at its next applied
+        // decision.
+        self.next_apply = snapshot.slot;
+        self.next_open = snapshot.slot;
+        self.slots.clear();
+        self.timers.clear();
+        self.future.retain(|&s, _| s >= snapshot.slot);
+        self.log.clear();
+        self.log_offset = snapshot.log_len;
+        self.log_digest = snapshot.log_digest;
+        self.own_checkpoints.clear();
+        self.votes.retain(|&s, _| s > snapshot.slot);
+        self.ckpt_stats.stable_slot = snapshot.slot;
+        self.ckpt_stats.state_transfers += 1;
+        self.stable = Some(StableCheckpoint {
+            slot: snapshot.slot,
+            digest,
+            log_len: snapshot.log_len,
+            snapshot: rep.snapshot,
+            certificate: rep.certificate,
+        });
+        self.transfer_wanted = None;
+        // Rejoin the pipeline immediately: pending local entries (and, in
+        // lazy mode, subsequent peer traffic) open slots from the
+        // checkpoint onward.
+        self.open_ready_slots(ctx);
+    }
+}
+
+/// The starting point of every replica's log digest chain.
+fn log_genesis() -> Digest {
+    Sha256::digest(b"probft-log-genesis")
 }
 
 enum DispatchEvent {
@@ -572,18 +1135,15 @@ enum DispatchEvent {
     Timer(TimerToken),
 }
 
-impl<S: StateMachine> Process for SmrNode<S> {
-    type Message = SlotMessage;
-
-    fn on_start(&mut self, ctx: &mut Context<'_, SlotMessage>) {
-        self.open_ready_slots(ctx);
-    }
-
-    fn on_message(
+impl<S: StateMachine> SmrNode<S> {
+    /// Routes one slot-tagged consensus message: deliver to a resident
+    /// slot, drop stale/far-future traffic, open in-window slots on
+    /// demand (lazy mode), or buffer for the window to reach them.
+    fn on_slot_message(
         &mut self,
         from: ProcessId,
         msg: SlotMessage,
-        ctx: &mut Context<'_, SlotMessage>,
+        ctx: &mut Context<'_, SmrMessage>,
     ) {
         let slot = msg.slot;
         if self.slots.contains_key(&slot) {
@@ -592,15 +1152,21 @@ impl<S: StateMachine> Process for SmrNode<S> {
         }
         if slot < self.next_open {
             // Below the open frontier but not resident: the slot was
-            // applied and pruned. Stale traffic, drop.
+            // applied and pruned. Stale traffic, drop — but if the sender
+            // is below our stable checkpoint, it is stranded (those slots
+            // are truncated cluster-wide) and this traffic is our only
+            // signal of its existence: push the checkpoint to it.
             self.dropped_messages += 1;
+            self.maybe_push_checkpoint(from, slot, ctx);
             return;
         }
         // Bounded buffering horizon ahead of the lowest unapplied slot.
         // A Byzantine peer spraying far-future slot numbers lands here
-        // and is dropped instead of growing memory without bound.
-        let window =
-            (self.settings.pipeline_depth as u64 * FUTURE_WINDOW_DEPTHS).max(MIN_FUTURE_WINDOW);
+        // and is dropped instead of growing memory without bound. The
+        // horizon is tight when checkpointing is on (anyone dropped
+        // recovers by state transfer) and wide when it is off (no
+        // recovery path exists, so slack is the only protection).
+        let window = self.settings.future_window();
         let horizon = self.next_apply.saturating_add(window);
         if slot >= horizon {
             self.dropped_messages += 1;
@@ -609,7 +1175,7 @@ impl<S: StateMachine> Process for SmrNode<S> {
         let open_horizon = self.next_apply + self.settings.pipeline_depth as u64;
         if self.settings.lazy_open
             && slot < open_horizon
-            && self.log.len() < self.settings.target_len
+            && self.total_log_len() < self.settings.target_len as u64
         {
             // Live mode: peer traffic for an in-window slot is the signal
             // that the slot exists — open every slot up to it (proposing
@@ -631,8 +1197,34 @@ impl<S: StateMachine> Process for SmrNode<S> {
             buffered.push(msg.inner);
         }
     }
+}
 
-    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, SlotMessage>) {
+impl<S: StateMachine> Process for SmrNode<S> {
+    type Message = SmrMessage;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SmrMessage>) {
+        self.open_ready_slots(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: SmrMessage, ctx: &mut Context<'_, SmrMessage>) {
+        match msg {
+            SmrMessage::Slot(msg) => self.on_slot_message(from, msg, ctx),
+            SmrMessage::CheckpointVote(vote) => {
+                // The signature, not the connection, authenticates the
+                // attestation — checkpoint certificates must be as
+                // unforgeable as the consensus votes they garbage-collect.
+                if vote.verify(&self.keys) {
+                    self.record_vote(vote, ctx);
+                } else {
+                    self.dropped_messages += 1;
+                }
+            }
+            SmrMessage::StateRequest(req) => self.handle_state_request(from, req, ctx),
+            SmrMessage::StateReply(rep) => self.handle_state_reply(rep, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, SmrMessage>) {
         // Timers fire once; forgetting the mapping afterwards keeps the
         // table bounded by the number of outstanding timers.
         if let Some((slot, inner)) = self.timers.remove(&token.0) {
@@ -678,17 +1270,17 @@ mod tests {
     }
 
     /// Any message from peer 1, tagged with `slot`.
-    fn slot_msg(keyring_seed: &[u8], slot: u64) -> SlotMessage {
+    fn slot_msg(keyring_seed: &[u8], slot: u64) -> SmrMessage {
         let keyring = Keyring::generate(4, keyring_seed);
         let wish = Wish::sign(
             keyring.signing_key(1).expect("in range"),
             ReplicaId(1),
             View(2),
         );
-        SlotMessage {
+        SmrMessage::Slot(SlotMessage {
             slot,
             inner: Message::Wish(wish),
-        }
+        })
     }
 
     /// A Byzantine peer spraying far-future slot numbers must not grow
@@ -701,6 +1293,7 @@ mod tests {
             pipeline_depth: 2,
             batch_size: 1,
             lazy_open: false,
+            checkpoint_interval: 0,
         });
         let spray = 1000;
         for i in 0..spray {
@@ -725,6 +1318,7 @@ mod tests {
             pipeline_depth: 2,
             batch_size: 1,
             lazy_open: false,
+            checkpoint_interval: 0,
         });
         // Slot inside the buffering horizon but not yet open (the node
         // has not started, so nothing is open).
@@ -813,5 +1407,331 @@ mod tests {
         assert_eq!(events[0].response, KvResponse::Value(Some("before".into())));
         assert_eq!(node.state().applied(), 2, "reads don't count as applies");
         assert_eq!(node.log().len(), 3, "reads do occupy log positions");
+    }
+
+    /// A node with checkpointing at the given interval, as replica `id`
+    /// of the shared 4-replica test keyring.
+    fn checkpoint_node(id: usize, interval: usize, depth: usize) -> (SmrNode<KvStore>, StdRng) {
+        let n = 4;
+        let cfg: SharedConfig = Arc::new(ProbftConfig::builder(n).build());
+        let keyring = Keyring::generate(n, b"node-tests");
+        let public = Arc::new(keyring.public());
+        let node = SmrNode::new(
+            cfg,
+            ReplicaId::from(id),
+            keyring.signing_key(id).expect("in range").clone(),
+            public,
+            Vec::new(),
+            SmrSettings {
+                target_len: usize::MAX,
+                pipeline_depth: depth,
+                batch_size: 1,
+                lazy_open: true,
+                checkpoint_interval: interval,
+            },
+        );
+        (node, StdRng::seed_from_u64(id as u64 + 1))
+    }
+
+    /// A peer's signed attestation of `digest` at `slot`.
+    fn peer_vote(id: usize, slot: u64, digest: Digest) -> SmrMessage {
+        let keyring = Keyring::generate(4, b"node-tests");
+        SmrMessage::CheckpointVote(CheckpointVote::sign(
+            keyring.signing_key(id).expect("in range"),
+            ReplicaId::from(id),
+            slot,
+            digest,
+        ))
+    }
+
+    /// Applies `count` tagged puts as one entry per slot and advances the
+    /// apply frontier accordingly (the unit-test stand-in for decided
+    /// consensus slots).
+    fn apply_slots(node: &mut SmrNode<KvStore>, rng: &mut StdRng, from: u64, count: u64) {
+        for i in from..from + count {
+            let entry = Entry::tagged_write(
+                RequestId {
+                    client: 1,
+                    seq: i + 1,
+                },
+                Command::Put {
+                    key: format!("k{i}"),
+                    value: format!("v{i}"),
+                },
+            );
+            node.apply_entry(entry, i);
+            node.next_apply = i + 1;
+            // Preserve the next_open ≥ next_apply invariant the real
+            // apply path maintains.
+            node.next_open = node.next_open.max(i + 1);
+            let mut ctx = Context::detached(ProcessId(node.id.index()), SimTime::ZERO, rng);
+            node.maybe_take_checkpoint(&mut ctx);
+        }
+    }
+
+    /// A quorum of matching attestations makes the checkpoint stable: the
+    /// log truncates below it, but the reply cache, total length, and
+    /// digest chain all survive.
+    #[test]
+    fn stable_checkpoint_truncates_log_and_keeps_reply_cache() {
+        let (mut node, mut rng) = checkpoint_node(0, 2, 1);
+        apply_slots(&mut node, &mut rng, 0, 2);
+        assert_eq!(node.checkpoint_stats().taken, 1);
+        let digest = node.own_checkpoints.get(&2).expect("own checkpoint").digest;
+        let total_before = node.total_log_len();
+        let chain_before = node.log_digest();
+
+        // Own vote alone is not a quorum (⌈(4+1+1)/2⌉ = 3); two peers
+        // complete it.
+        assert!(node.stable_checkpoint().is_none());
+        for peer in [1, 2] {
+            let mut ctx = Context::detached(ProcessId(0), SimTime::ZERO, &mut rng);
+            node.on_message(ProcessId(peer), peer_vote(peer, 2, digest), &mut ctx);
+        }
+        let stable = node.stable_checkpoint().expect("quorum reached");
+        assert_eq!(stable.slot, 2);
+        assert_eq!(node.log().len(), 0, "entries below the checkpoint gone");
+        assert_eq!(node.log_offset(), 2);
+        assert_eq!(node.total_log_len(), total_before);
+        assert_eq!(node.log_digest(), chain_before, "digest chain unbroken");
+        assert_eq!(node.checkpoint_stats().truncated_entries, 2);
+        assert_eq!(node.checkpoint_stats().stable_slot, 2);
+        // At-most-once survives truncation: the replies live in the
+        // snapshot, not the truncated log.
+        let request = RequestId { client: 1, seq: 2 };
+        assert!(node.request_applied(request));
+        assert_eq!(node.cached_response(request), Some(&KvResponse::Prev(None)));
+    }
+
+    /// A vote quorum for a slot beyond the pipeline window makes a
+    /// laggard request state transfer; an attested `StateReply` restores
+    /// it to the checkpoint — state, reply cache, log bookkeeping and
+    /// all — without replaying the truncated log.
+    #[test]
+    fn laggard_restores_from_attested_state_reply() {
+        // Replica 0 applies 4 slots and checkpoints at slot 4.
+        let (mut donor, mut donor_rng) = checkpoint_node(0, 4, 1);
+        apply_slots(&mut donor, &mut donor_rng, 0, 4);
+        let digest = donor.own_checkpoints.get(&4).expect("own").digest;
+        let snapshot = donor.own_checkpoints.get(&4).expect("own").bytes.clone();
+
+        // Replica 3 never saw any of it. Votes from 0, 1, 2 arrive.
+        let (mut laggard, mut rng) = checkpoint_node(3, 4, 1);
+        for peer in [0, 1, 2] {
+            let mut ctx = Context::detached(ProcessId(3), SimTime::ZERO, &mut rng);
+            laggard.on_message(ProcessId(peer), peer_vote(peer, 4, digest), &mut ctx);
+            let requests: Vec<_> = ctx
+                .drain_actions()
+                .into_iter()
+                .filter(|a| {
+                    matches!(
+                        a,
+                        Action::Send {
+                            msg: SmrMessage::StateRequest(_),
+                            ..
+                        }
+                    )
+                })
+                .collect();
+            if peer == 2 {
+                assert!(
+                    !requests.is_empty(),
+                    "quorum for a far-ahead checkpoint must trigger requests"
+                );
+            }
+        }
+        assert_eq!(laggard.transfer_wanted, Some((4, digest)));
+
+        // The certificate: the quorum of signed votes for (slot 4, digest).
+        let keyring = Keyring::generate(4, b"node-tests");
+        let certificate: Vec<CheckpointVote> = [0usize, 1, 2]
+            .iter()
+            .map(|&i| {
+                CheckpointVote::sign(
+                    keyring.signing_key(i).expect("in range"),
+                    ReplicaId::from(i),
+                    4,
+                    digest,
+                )
+            })
+            .collect();
+
+        // A tampered payload is rejected and counted…
+        let mut bad = snapshot.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        let dropped_before = laggard.dropped_messages();
+        let mut ctx = Context::detached(ProcessId(3), SimTime::ZERO, &mut rng);
+        laggard.on_message(
+            ProcessId(1),
+            SmrMessage::StateReply(StateReply {
+                slot: 4,
+                snapshot: bad,
+                certificate: certificate.clone(),
+            }),
+            &mut ctx,
+        );
+        assert_eq!(laggard.dropped_messages(), dropped_before + 1);
+        assert_eq!(laggard.slots_applied(), 0, "tampered snapshot ignored");
+
+        // …as is a certificate short of the quorum…
+        let mut ctx = Context::detached(ProcessId(3), SimTime::ZERO, &mut rng);
+        laggard.on_message(
+            ProcessId(1),
+            SmrMessage::StateReply(StateReply {
+                slot: 4,
+                snapshot: snapshot.clone(),
+                certificate: certificate[..2].to_vec(),
+            }),
+            &mut ctx,
+        );
+        assert_eq!(laggard.dropped_messages(), dropped_before + 2);
+        assert_eq!(laggard.slots_applied(), 0, "sub-quorum certificate ignored");
+
+        // …the attested one restores.
+        let mut ctx = Context::detached(ProcessId(3), SimTime::ZERO, &mut rng);
+        laggard.on_message(
+            ProcessId(1),
+            SmrMessage::StateReply(StateReply {
+                slot: 4,
+                snapshot,
+                certificate: certificate.clone(),
+            }),
+            &mut ctx,
+        );
+        assert_eq!(laggard.slots_applied(), 4);
+        assert_eq!(laggard.state(), donor.state());
+        assert_eq!(laggard.log_offset(), 4);
+        assert_eq!(laggard.log().len(), 0, "transferred, not replayed");
+        assert_eq!(laggard.log_digest(), donor.log_digest());
+        assert_eq!(laggard.checkpoint_stats().state_transfers, 1);
+        let request = RequestId { client: 1, seq: 4 };
+        assert_eq!(
+            laggard.cached_response(request),
+            donor.cached_response(request),
+            "reply cache rides the snapshot"
+        );
+        // A duplicate reply is a no-op.
+        let stable = laggard
+            .stable_checkpoint()
+            .expect("stable")
+            .snapshot
+            .clone();
+        let mut ctx = Context::detached(ProcessId(3), SimTime::ZERO, &mut rng);
+        laggard.on_message(
+            ProcessId(2),
+            SmrMessage::StateReply(StateReply {
+                slot: 4,
+                snapshot: stable,
+                certificate,
+            }),
+            &mut ctx,
+        );
+        assert_eq!(laggard.checkpoint_stats().state_transfers, 1);
+    }
+
+    /// The self-proving certificate makes *unsolicited* catch-up pushes
+    /// safe: a fresh replica that never collected a single vote restores
+    /// from a pushed stable checkpoint, and a peer pushes one when it
+    /// sees traffic from below its stable checkpoint (at most once per
+    /// checkpoint per peer).
+    #[test]
+    fn unsolicited_checkpoint_push_restores_a_voteless_laggard() {
+        // Donor: 4 slots applied, checkpoint at 4 made stable by votes
+        // from peers 1 and 2.
+        let (mut donor, mut donor_rng) = checkpoint_node(0, 4, 1);
+        apply_slots(&mut donor, &mut donor_rng, 0, 4);
+        let digest = donor.own_checkpoints.get(&4).expect("own").digest;
+        for peer in [1, 2] {
+            let mut ctx = Context::detached(ProcessId(0), SimTime::ZERO, &mut donor_rng);
+            donor.on_message(ProcessId(peer), peer_vote(peer, 4, digest), &mut ctx);
+        }
+        let stable = donor.stable_checkpoint().expect("stable");
+        assert_eq!(stable.certificate.len(), 3, "own vote + two peers");
+
+        // Stale traffic from replica 3 (below the stable checkpoint)
+        // makes the donor push its checkpoint — exactly once.
+        let mut pushes = Vec::new();
+        for _ in 0..3 {
+            let mut ctx = Context::detached(ProcessId(0), SimTime::ZERO, &mut donor_rng);
+            donor.on_message(ProcessId(3), slot_msg(b"node-tests", 0), &mut ctx);
+            pushes.extend(ctx.drain_actions().into_iter().filter_map(|a| match a {
+                Action::Send {
+                    to,
+                    msg: SmrMessage::StateReply(rep),
+                } => Some((to, rep)),
+                _ => None,
+            }));
+        }
+        assert_eq!(pushes.len(), 1, "one push per peer per stable checkpoint");
+        let (to, rep) = pushes.pop().expect("one push");
+        assert_eq!(to, ProcessId(3));
+
+        // The voteless laggard accepts it purely on the certificate.
+        let (mut laggard, mut rng) = checkpoint_node(3, 4, 1);
+        let mut ctx = Context::detached(ProcessId(3), SimTime::ZERO, &mut rng);
+        laggard.on_message(ProcessId(0), SmrMessage::StateReply(rep), &mut ctx);
+        assert_eq!(laggard.slots_applied(), 4);
+        assert_eq!(laggard.state(), donor.state());
+        assert_eq!(laggard.checkpoint_stats().state_transfers, 1);
+    }
+
+    /// Unsigned or forged checkpoint votes never count toward a quorum.
+    #[test]
+    fn forged_checkpoint_votes_are_dropped() {
+        let (mut node, mut rng) = checkpoint_node(0, 2, 1);
+        apply_slots(&mut node, &mut rng, 0, 2);
+        let digest = node.own_checkpoints.get(&2).expect("own").digest;
+        // Votes "from" replicas 1 and 2, but signed with the wrong keys.
+        let other = Keyring::generate(4, b"imposter");
+        for peer in [1usize, 2] {
+            let forged = CheckpointVote::sign(
+                other.signing_key(peer).expect("in range"),
+                ReplicaId::from(peer),
+                2,
+                digest,
+            );
+            let mut ctx = Context::detached(ProcessId(0), SimTime::ZERO, &mut rng);
+            node.on_message(
+                ProcessId(peer),
+                SmrMessage::CheckpointVote(forged),
+                &mut ctx,
+            );
+        }
+        assert!(node.stable_checkpoint().is_none(), "forged quorum rejected");
+        assert_eq!(node.dropped_messages(), 2);
+    }
+
+    /// The buffering horizon is conditional: wide without checkpointing
+    /// (no recovery path exists for anyone dropped beyond it), tight with
+    /// it (state transfer recovers them).
+    #[test]
+    fn buffering_horizon_is_wide_without_checkpointing_tight_with() {
+        assert_eq!(SmrSettings::live(4, 1).future_window(), 16);
+        let mut with = SmrSettings::live(4, 1);
+        with.checkpoint_interval = 8;
+        assert_eq!(with.future_window(), 8);
+        // Deep pipelines scale both horizons past their floors.
+        assert_eq!(SmrSettings::live(16, 1).future_window(), 64);
+        let mut deep = SmrSettings::live(16, 1);
+        deep.checkpoint_interval = 8;
+        assert_eq!(deep.future_window(), 32);
+    }
+
+    /// The probe opens exactly one slot, only on an idle lazy node — the
+    /// follower's lever for forcing a view change on a silent leader.
+    #[test]
+    fn probe_open_only_fires_on_idle_lazy_nodes() {
+        let (mut node, mut rng) = checkpoint_node(1, 0, 4);
+        let mut ctx = Context::detached(ProcessId(1), SimTime::ZERO, &mut rng);
+        assert!(node.probe_open(&mut ctx));
+        assert_eq!(node.slots_opened(), 1);
+        // Already probing: a second probe is a no-op.
+        assert!(!node.probe_open(&mut ctx));
+        assert_eq!(node.slots_opened(), 1);
+        // Eager nodes never probe (the workload drives them).
+        let (mut eager, mut rng2) = test_node(SmrSettings::sequential(4));
+        let mut ctx2 = Context::detached(ProcessId(0), SimTime::ZERO, &mut rng2);
+        assert!(!eager.probe_open(&mut ctx2));
     }
 }

@@ -250,3 +250,52 @@ proptest! {
         // 64-command test asserts the throughput win.)
     }
 }
+
+proptest! {
+    /// Checkpoint soundness: truncating the log behind a snapshot loses
+    /// nothing. Applying a random command sequence to a fresh machine
+    /// must be indistinguishable from snapshotting at an arbitrary
+    /// midpoint, restoring the snapshot into a fresh machine, and
+    /// replaying only the suffix — equal final states *and* equal
+    /// responses for every suffix command (what a state-transferred
+    /// replica serves its clients).
+    #[test]
+    fn snapshot_plus_suffix_replay_equals_full_replay(
+        raw in proptest::collection::vec((0u8..4, 0u8..5, ".{0,12}"), 1..40),
+        split_frac in 0.0f64..1.0,
+    ) {
+        use probft::smr::StateMachine;
+
+        let commands: Vec<Command> = raw
+            .into_iter()
+            .map(|(which, k, value)| match which {
+                0 => Command::Put { key: format!("k{k}"), value },
+                1 => Command::Delete { key: format!("k{k}") },
+                2 => Command::Get { key: format!("k{k}") },
+                _ => Command::Noop,
+            })
+            .collect();
+        let split = ((commands.len() as f64) * split_frac) as usize;
+
+        let mut full = probft::smr::KvStore::new();
+        let full_responses: Vec<_> = commands.iter().map(|c| full.apply(c)).collect();
+
+        let mut prefix = probft::smr::KvStore::new();
+        for c in &commands[..split] {
+            prefix.apply(c);
+        }
+        let snapshot = prefix.snapshot();
+        let mut restored = probft::smr::KvStore::new();
+        restored.restore(&snapshot).expect("own snapshot restores");
+        prop_assert_eq!(&restored, &prefix, "restore reproduces the snapshotted state");
+
+        let suffix_responses: Vec<_> =
+            commands[split..].iter().map(|c| restored.apply(c)).collect();
+        prop_assert_eq!(&restored, &full, "suffix replay converges on the full replay");
+        prop_assert_eq!(
+            &suffix_responses[..],
+            &full_responses[split..],
+            "transferred replicas answer exactly what full-replay replicas answer"
+        );
+    }
+}

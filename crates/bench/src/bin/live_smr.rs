@@ -22,7 +22,9 @@
 //! enables PBFT-style checkpointing every `N` applied slots; the
 //! `resident log` column then shows the largest per-replica resident
 //! entry count at shutdown (versus total ops), making checkpoint overhead
-//! *and* the memory bound visible in the same row.
+//! *and* the memory bound visible in the same row. `--json PATH` writes
+//! the same rows as a machine-readable JSON report (one object per row)
+//! so CI can archive throughput numbers as a build artifact.
 
 use probft_bench::print_row;
 use probft_runtime::{LiveSmrBuilder, SmrClient};
@@ -80,6 +82,16 @@ fn parse_read_pct() -> Option<u32> {
     Some(pct)
 }
 
+fn parse_json_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--json")?;
+    Some(
+        args.get(i + 1)
+            .unwrap_or_else(|| die("--json requires an output path"))
+            .clone(),
+    )
+}
+
 fn parse_checkpoint_interval() -> usize {
     let args: Vec<String> = std::env::args().collect();
     let Some(i) = args.iter().position(|a| a == "--checkpoint-interval") else {
@@ -98,10 +110,67 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// One grid-point × workload result, mirrored into the `--json` report.
+struct RowReport {
+    n: usize,
+    clients: usize,
+    batch: usize,
+    workload: String,
+    ops: usize,
+    wall_ms: f64,
+    ops_per_sec: f64,
+    redirects: u64,
+    retries: u64,
+    resident_log: usize,
+    total_log_len: u64,
+}
+
+impl RowReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"n\":{},\"clients\":{},\"batch\":{},\"workload\":{:?},\"ops\":{},\
+             \"wall_ms\":{:.1},\"ops_per_sec\":{:.1},\"redirects\":{},\"retries\":{},\
+             \"resident_log\":{},\"total_log_len\":{}}}",
+            self.n,
+            self.clients,
+            self.batch,
+            self.workload,
+            self.ops,
+            self.wall_ms,
+            self.ops_per_sec,
+            self.redirects,
+            self.retries,
+            self.resident_log,
+            self.total_log_len,
+        )
+    }
+}
+
+fn write_json_report(path: &str, smoke: bool, checkpoint_interval: usize, rows: &[RowReport]) {
+    let rows_json: Vec<String> = rows
+        .iter()
+        .map(|r| format!("    {}", r.to_json()))
+        .collect();
+    let body = format!(
+        "{{\n  \"bench\": \"live_smr\",\n  \"smoke\": {smoke},\n  \
+         \"checkpoint_interval\": {checkpoint_interval},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n"),
+    );
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| die(&format!("--json: creating {}: {e}", parent.display())));
+        }
+    }
+    std::fs::write(path, body).unwrap_or_else(|e| die(&format!("--json: writing {path}: {e}")));
+    println!("\nJSON report written to {path}");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let read_pct = parse_read_pct();
     let checkpoint_interval = parse_checkpoint_interval();
+    let json_path = parse_json_path();
     let grid: Vec<GridPoint> = if smoke {
         vec![GridPoint {
             n: 4,
@@ -170,10 +239,15 @@ fn main() {
         ],
     );
 
+    let mut rows = Vec::new();
     for point in &grid {
         for mix in &mixes {
-            run_row(point, *mix, checkpoint_interval);
+            rows.push(run_row(point, *mix, checkpoint_interval));
         }
+    }
+
+    if let Some(path) = &json_path {
+        write_json_report(path, smoke, checkpoint_interval, &rows);
     }
 
     println!(
@@ -185,7 +259,7 @@ fn main() {
     );
 }
 
-fn run_row(point: &GridPoint, mix: Mix, checkpoint_interval: usize) {
+fn run_row(point: &GridPoint, mix: Mix, checkpoint_interval: usize) -> RowReport {
     let cluster = LiveSmrBuilder::new(point.n)
         .seed(42)
         .pipeline_depth(4)
@@ -265,4 +339,17 @@ fn run_row(point: &GridPoint, mix: Mix, checkpoint_interval: usize) {
             format!("{resident}/{}", reports[0].total_log_len()),
         ],
     );
+    RowReport {
+        n: point.n,
+        clients: point.clients,
+        batch: point.batch,
+        workload: mix.label(),
+        ops: total,
+        wall_ms: secs * 1000.0,
+        ops_per_sec: total as f64 / secs,
+        redirects,
+        retries,
+        resident_log: resident,
+        total_log_len: reports[0].total_log_len(),
+    }
 }

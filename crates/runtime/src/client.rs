@@ -13,6 +13,13 @@
 //! at a leader that never answers) is broken by rotating to the next
 //! replica after a few identical redirects.
 //!
+//! An [`SmrReply::Overloaded`] answer is *not* a redirect: the leader is
+//! alive and shedding by choice, and every follower would bounce the
+//! client straight back to it. The client therefore backs off
+//! (exponentially, capped) and retries the **same** replica — rotating
+//! would just stampede the shed load onto the next replica's redirect
+//! path.
+//!
 //! Reads go through [`read`](SmrClient::read) at a chosen [`Consistency`]
 //! tier: `Local` asks whichever replica the client currently points at
 //! and accepts staleness, `Leader` insists on the leader's state, and
@@ -62,6 +69,13 @@ impl Error for ClientError {}
 /// in.
 const MAX_REDIRECT_STREAK: u32 = 3;
 
+/// First pause after an `Overloaded` shed; doubles per consecutive shed
+/// of the same request, capped at [`OVERLOAD_BACKOFF_CAP`].
+const OVERLOAD_BACKOFF_BASE: Duration = Duration::from_millis(5);
+
+/// Longest single overload backoff pause.
+const OVERLOAD_BACKOFF_CAP: Duration = Duration::from_millis(200);
+
 /// A client of a live SMR cluster, generic over the replicated
 /// [`StateMachine`] (default: the reference [`KvStore`]).
 ///
@@ -92,6 +106,7 @@ pub struct SmrClient<S: StateMachine = KvStore> {
     redirect_streak: Option<(SocketAddr, u32)>,
     retries: u64,
     redirects: u64,
+    overloads: u64,
 }
 
 impl<S: StateMachine> SmrClient<S> {
@@ -113,6 +128,7 @@ impl<S: StateMachine> SmrClient<S> {
             redirect_streak: None,
             retries: 0,
             redirects: 0,
+            overloads: 0,
         }
     }
 
@@ -151,6 +167,12 @@ impl<S: StateMachine> SmrClient<S> {
     /// Redirect replies followed, across all requests.
     pub fn redirects(&self) -> u64 {
         self.redirects
+    }
+
+    /// `Overloaded` sheds absorbed (each answered with backoff-and-retry
+    /// against the same leader), across all requests.
+    pub fn overloads(&self) -> u64 {
+        self.overloads
     }
 
     /// Submits `op` as a write and blocks until the cluster confirms it
@@ -306,6 +328,7 @@ impl<S: StateMachine> SmrClient<S> {
         }
         let started = Instant::now();
         let mut attempts = 0u32;
+        let mut overload_streak = 0u32;
         loop {
             if attempts > 0 {
                 if started.elapsed() >= self.overall_timeout {
@@ -335,6 +358,20 @@ impl<S: StateMachine> SmrClient<S> {
                     return Ok(response);
                 }
                 Some(Answer::Redirect(named)) => self.follow_redirect(named, target),
+                Some(Answer::Overloaded) => {
+                    // The leader is alive and shedding by choice: back off
+                    // and retry *it*, rather than rotating — a follower
+                    // would only redirect us straight back, stampeding the
+                    // shed load onto the rest of the cluster. Exponential
+                    // with a cap; the connection stays up.
+                    self.overloads += 1;
+                    self.redirect_streak = None;
+                    let backoff = OVERLOAD_BACKOFF_BASE
+                        .saturating_mul(1u32 << overload_streak.min(10))
+                        .min(OVERLOAD_BACKOFF_CAP);
+                    overload_streak += 1;
+                    std::thread::sleep(backoff);
+                }
                 None => {
                     // Reply timeout or torn connection: resend the same
                     // request id (safe: ordered entries are deduplicated,
@@ -369,6 +406,11 @@ impl<S: StateMachine> SmrClient<S> {
                     Ok(SmrFrame::Reply(SmrReply::Redirect {
                         request: r, addr, ..
                     })) if r == request => return Some(Answer::Redirect(addr)),
+                    Ok(SmrFrame::Reply(SmrReply::Overloaded { request: r, .. }))
+                        if r == request =>
+                    {
+                        return Some(Answer::Overloaded)
+                    }
                     Ok(SmrFrame::ReadReply {
                         request: r,
                         response,
@@ -458,6 +500,9 @@ impl SmrClient<KvStore> {
 enum Answer<R> {
     Applied(R),
     Redirect(SocketAddr),
+    /// The leader shed the request under admission control; retry it
+    /// after a backoff instead of rotating.
+    Overloaded,
 }
 
 /// A placeholder address for a client constructed with no replicas; every

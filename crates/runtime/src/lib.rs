@@ -47,9 +47,14 @@
 pub mod client;
 pub mod cluster;
 pub mod live;
+pub mod nemesis;
 pub mod transport;
 
 pub use client::{ClientError, SmrClient};
 pub use cluster::{ClusterBuilder, ClusterError, TransportStats};
-pub use live::{LiveSmrBuilder, LiveSmrCluster, ReplicaReport, SmrFrame, SmrReply};
+pub use live::{
+    LinkDecision, LinkRule, LiveSmrBuilder, LiveSmrCluster, NetPolicy, ReplicaReport, SmrFrame,
+    SmrReply,
+};
+pub use nemesis::{execute, verify_exactly_once, verify_invariants, Fault, FaultPlan, NemesisRun};
 pub use transport::{read_frame, write_frame, FrameError};

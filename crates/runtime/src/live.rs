@@ -158,6 +158,18 @@ pub enum SmrReply<R> {
         /// valid even if the client orders its address list differently.
         addr: SocketAddr,
     },
+    /// Admission control: the leader *is* alive and *is* the leader, but
+    /// its pending queue is full, so this submission was shed instead of
+    /// queued. The right client response is to back off and retry the
+    /// same request id *here* — rotating to another replica would only
+    /// stampede a follower that redirects straight back.
+    Overloaded {
+        /// The request that was shed (not ordered, not applied).
+        request: RequestId,
+        /// The queue depth observed when shedding — a load signal the
+        /// client can feed into its backoff.
+        queued: u32,
+    },
 }
 
 /// How long a replica keeps an unanswered client reply handle before
@@ -175,6 +187,7 @@ const FRAME_READ_REPLY: u8 = 6;
 const FRAME_CHECKPOINT_VOTE: u8 = 7;
 const FRAME_STATE_REQUEST: u8 = 8;
 const FRAME_STATE_REPLY: u8 = 9;
+const FRAME_OVERLOADED: u8 = 10;
 
 fn encode_addr(out: &mut Vec<u8>, addr: &SocketAddr) {
     put::var_bytes(out, addr.to_string().as_bytes());
@@ -227,6 +240,11 @@ impl<S: StateMachine> Wire for SmrFrame<S> {
                 encode_request(out, *request);
                 put::u32(out, *leader);
                 encode_addr(out, addr);
+            }
+            SmrFrame::Reply(SmrReply::Overloaded { request, queued }) => {
+                out.push(FRAME_OVERLOADED);
+                encode_request(out, *request);
+                put::u32(out, *queued);
             }
             SmrFrame::ReadRequest {
                 request,
@@ -288,6 +306,11 @@ impl<S: StateMachine> Wire for SmrFrame<S> {
                     addr,
                 }))
             }
+            FRAME_OVERLOADED => {
+                let request = decode_request(r)?;
+                let queued = r.u32()?;
+                Ok(SmrFrame::Reply(SmrReply::Overloaded { request, queued }))
+            }
             FRAME_READ_REQUEST => {
                 let request = decode_request(r)?;
                 let consistency = Consistency::decode(r)?;
@@ -319,6 +342,155 @@ impl<S: StateMachine> Wire for SmrFrame<S> {
     }
 }
 
+/// A nemesis rule for one directed replica-to-replica link.
+///
+/// Rules are *directed*: a rule on `(a, b)` affects only frames a sends
+/// toward b, so asymmetric partitions (a cannot reach b, but b still
+/// reaches a) are expressed by installing a rule on one direction only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkRule {
+    /// Drop every frame on this link (a hard partition of the direction).
+    pub drop: bool,
+    /// Minimum added delivery latency per frame.
+    pub delay_min: Duration,
+    /// Maximum added delivery latency per frame. With `delay_max >
+    /// delay_min` each frame's extra latency is drawn uniformly from the
+    /// range by a deterministic per-frame hash — simnet's `Uniform` delay
+    /// model ported to real sockets (jitter reorders frames exactly the
+    /// way a real network would).
+    pub delay_max: Duration,
+}
+
+impl LinkRule {
+    /// A rule that drops everything on the link.
+    pub fn blackhole() -> Self {
+        LinkRule {
+            drop: true,
+            ..LinkRule::default()
+        }
+    }
+
+    /// A rule adding `min..=max` of latency to every frame on the link.
+    pub fn latency(min: Duration, max: Duration) -> Self {
+        LinkRule {
+            drop: false,
+            delay_min: min,
+            delay_max: max.max(min),
+        }
+    }
+}
+
+/// What the [`NetPolicy`] says to do with one outbound peer frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkDecision {
+    /// Write the frame now.
+    Deliver,
+    /// Discard the frame (partitioned link).
+    Drop,
+    /// Hold the frame and write it after the given delay.
+    Delay(Duration),
+}
+
+/// Cluster-wide per-link fault rules, shared by every replica's event
+/// loop and mutated live by the nemesis harness (via
+/// [`LiveSmrCluster::set_link`] and friends). Only replica-to-replica
+/// traffic consults it; client connections are outside its reach, exactly
+/// like a real switch fabric sitting between the replicas.
+#[derive(Debug, Default)]
+pub struct NetPolicy {
+    /// Directed link rules, by `(from, to)`.
+    rules: Mutex<BTreeMap<(usize, usize), LinkRule>>,
+    /// Frames discarded by drop rules.
+    dropped: AtomicU64,
+    /// Frames held back by latency rules.
+    delayed: AtomicU64,
+    /// Monotone per-frame counter feeding the deterministic jitter hash.
+    frames: AtomicU64,
+    /// Seed for the jitter hash (the cluster/nemesis seed).
+    seed: AtomicU64,
+}
+
+impl NetPolicy {
+    /// Installs `rule` on the directed link `from → to`.
+    pub fn set_link(&self, from: usize, to: usize, rule: LinkRule) {
+        if let Ok(mut rules) = self.rules.lock() {
+            rules.insert((from, to), rule);
+        }
+    }
+
+    /// Removes any rule on the directed link `from → to`.
+    pub fn clear_link(&self, from: usize, to: usize) {
+        if let Ok(mut rules) = self.rules.lock() {
+            rules.remove(&(from, to));
+        }
+    }
+
+    /// Removes every rule — the fully healed network.
+    pub fn heal(&self) {
+        if let Ok(mut rules) = self.rules.lock() {
+            rules.clear();
+        }
+    }
+
+    /// Frames discarded by drop rules so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    /// Frames held back by latency rules so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed.load(Ordering::SeqCst)
+    }
+
+    /// Seeds the deterministic per-frame jitter hash.
+    pub fn reseed(&self, seed: u64) {
+        self.seed.store(seed, Ordering::SeqCst);
+    }
+
+    /// What to do with one frame on `from → to`, per the installed rules.
+    /// Latency is sampled by hashing `(seed, from, to, frame counter)` —
+    /// no shared RNG, so two runs with the same seed and the same send
+    /// interleaving delay identically.
+    pub fn decide(&self, from: usize, to: usize) -> LinkDecision {
+        let rule = match self.rules.lock() {
+            Ok(rules) => match rules.get(&(from, to)) {
+                Some(rule) => *rule,
+                None => return LinkDecision::Deliver,
+            },
+            Err(_) => return LinkDecision::Deliver,
+        };
+        if rule.drop {
+            self.dropped.fetch_add(1, Ordering::SeqCst);
+            return LinkDecision::Drop;
+        }
+        if rule.delay_max.is_zero() {
+            return LinkDecision::Deliver;
+        }
+        let n = self.frames.fetch_add(1, Ordering::SeqCst);
+        let seed = self.seed.load(Ordering::SeqCst);
+        let span = rule
+            .delay_max
+            .saturating_sub(rule.delay_min)
+            .as_micros()
+            .max(1) as u64;
+        let jitter = Duration::from_micros(
+            splitmix64(seed ^ (from as u64) << 40 ^ (to as u64) << 20 ^ n) % span,
+        );
+        self.delayed.fetch_add(1, Ordering::SeqCst);
+        LinkDecision::Delay(rule.delay_min + jitter)
+    }
+}
+
+/// SplitMix64 — the standard small deterministic mixer, here turning
+/// (seed, link, frame index) into per-frame jitter without any shared RNG
+/// state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// What one replica held when the cluster was shut down.
 #[derive(Clone, Debug)]
 pub struct ReplicaReport<S: StateMachine = KvStore> {
@@ -346,6 +518,12 @@ pub struct ReplicaReport<S: StateMachine = KvStore> {
     pub dropped_messages: u64,
     /// Checkpoint / truncation / state-transfer counters.
     pub checkpoints: CheckpointStats,
+    /// Client submissions this replica shed with an `Overloaded` reply
+    /// (admission control; never ordered, never applied).
+    pub shed_requests: u64,
+    /// The largest batch this replica ever proposed — the adaptive
+    /// batching loop's observed high-water mark.
+    pub max_batch: usize,
 }
 
 impl<S: StateMachine> ReplicaReport<S> {
@@ -376,6 +554,8 @@ pub struct LiveSmrBuilder<S: StateMachine = KvStore> {
     pipeline_depth: usize,
     batch_size: usize,
     checkpoint_interval: usize,
+    adaptive_batching: bool,
+    max_pending: usize,
     _machine: std::marker::PhantomData<S>,
 }
 
@@ -399,6 +579,8 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
             pipeline_depth: 4,
             batch_size: 8,
             checkpoint_interval: 0,
+            adaptive_batching: true,
+            max_pending: 0,
             _machine: std::marker::PhantomData,
         }
     }
@@ -422,9 +604,30 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
         self
     }
 
-    /// Most pending entries the leader packs into one slot's batch.
+    /// Most pending entries the leader packs into one slot's batch. With
+    /// adaptive batching (the default) this is only the light-load
+    /// behaviour's reference point — deep queues grow batches past it.
     pub fn batch_size(mut self, batch: usize) -> Self {
         self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Toggles adaptive batching (default on): batches are sized from the
+    /// observed pending-queue depth — small under light load, growing
+    /// past the static `batch_size` cap under a deep queue — instead of
+    /// always packing a fixed-size slice.
+    pub fn adaptive_batching(mut self, on: bool) -> Self {
+        self.adaptive_batching = on;
+        self
+    }
+
+    /// Admission-control cap: once a leader's pending queue holds this
+    /// many entries, further client submissions are shed with an explicit
+    /// [`SmrReply::Overloaded`] instead of queued (0 — the default —
+    /// disables shedding). Clients back off and retry; the queue, and
+    /// with it every queued client's latency, stays bounded.
+    pub fn max_pending(mut self, cap: usize) -> Self {
+        self.max_pending = cap;
         self
     }
 
@@ -459,6 +662,8 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
         let stats = Arc::new(TransportStats::default());
         let mut settings = SmrSettings::live(self.pipeline_depth, self.batch_size);
         settings.checkpoint_interval = self.checkpoint_interval;
+        settings.adaptive_batching = self.adaptive_batching;
+        settings.max_pending = self.max_pending;
 
         let (listeners, addrs) = bind_listeners(self.n, self.base_port)?;
         let addrs = Arc::new(addrs);
@@ -468,6 +673,10 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
         let paused: Vec<Arc<AtomicBool>> = (0..self.n)
             .map(|_| Arc::new(AtomicBool::new(false)))
             .collect();
+        let leader_watches: Vec<Arc<AtomicU64>> =
+            (0..self.n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let net = Arc::new(NetPolicy::default());
+        net.reseed(self.seed);
 
         let mut handles = Vec::with_capacity(self.n);
         for (i, listener) in listeners.into_iter().enumerate() {
@@ -479,6 +688,8 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
             let addrs = addrs.clone();
             let applied_len = applied_lens[i].clone();
             let paused = paused[i].clone();
+            let net = net.clone();
+            let leader_watch = leader_watches[i].clone();
             handles.push(thread::spawn(move || {
                 smr_replica_main::<S>(
                     i,
@@ -492,6 +703,8 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
                     stats,
                     applied_len,
                     paused,
+                    net,
+                    leader_watch,
                 )
             }));
         }
@@ -503,6 +716,9 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
             stats,
             applied_lens,
             paused,
+            leader_watches,
+            net,
+            keyring,
         })
     }
 }
@@ -523,6 +739,16 @@ pub struct LiveSmrCluster<S: StateMachine = KvStore> {
     /// everything it receives and sends nothing, like a partitioned or
     /// stalled process).
     paused: Vec<Arc<AtomicBool>>,
+    /// Per-replica current-leader beliefs, published every event-loop
+    /// turn (fault injection: lets a nemesis target "the leader").
+    leader_watches: Vec<Arc<AtomicU64>>,
+    /// Per-link network fault policy every replica's outbound path
+    /// consults (fault injection: partitions, latency, jitter).
+    net: Arc<NetPolicy>,
+    /// The cluster's keyring (fault injection: lets a live Byzantine
+    /// agent sign protocol-valid equivocation with a real replica's key —
+    /// the deployment-secret analogue of the sim's in-process adversary).
+    keyring: Keyring,
 }
 
 impl<S: StateMachine> LiveSmrCluster<S> {
@@ -567,6 +793,50 @@ impl<S: StateMachine> LiveSmrCluster<S> {
         if let Some(flag) = self.paused.get(i) {
             flag.store(false, Ordering::SeqCst);
         }
+    }
+
+    /// Whether replica `i` is currently [`pause`](Self::pause)d (false
+    /// for out-of-range ids).
+    pub fn is_paused(&self, i: usize) -> bool {
+        self.paused
+            .get(i)
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
+    }
+
+    /// The per-link network fault policy: drop rules build (asymmetric)
+    /// partitions, latency rules inject deterministic jitter. Every
+    /// replica's outbound peer path consults it; client connections are
+    /// deliberately unaffected (the nemesis attacks the cluster, not the
+    /// observer).
+    pub fn net(&self) -> &NetPolicy {
+        &self.net
+    }
+
+    /// The id the (unpaused) cluster currently believes leads: the
+    /// plurality of the replicas' published beliefs, ties broken low.
+    /// Transiently stale mid-view-change — callers targeting "the leader"
+    /// get whoever most of the cluster would redirect a client to.
+    pub fn current_leader(&self) -> usize {
+        let mut votes: BTreeMap<u64, usize> = BTreeMap::new();
+        for (watch, paused) in self.leader_watches.iter().zip(&self.paused) {
+            if !paused.load(Ordering::SeqCst) {
+                *votes.entry(watch.load(Ordering::SeqCst)).or_default() += 1;
+            }
+        }
+        votes
+            .into_iter()
+            .max_by_key(|&(id, count)| (count, std::cmp::Reverse(id)))
+            .map(|(id, _)| id as usize)
+            .unwrap_or(0)
+    }
+
+    /// The cluster's full keyring. Fault-injection surface: a nemesis
+    /// uses a replica's signing key to forge protocol-valid Byzantine
+    /// traffic (equivocating proposals, far-future wish spray) exactly
+    /// like the sim's in-process adversaries — the live analogue of a
+    /// compromised deployment secret.
+    pub fn keyring(&self) -> &Keyring {
+        &self.keyring
     }
 
     /// Stops every replica thread and returns what each one held, in
@@ -655,6 +925,8 @@ fn smr_replica_main<S: StateMachine>(
     stats: Arc<TransportStats>,
     applied_len: Arc<AtomicU64>,
     paused: Arc<AtomicBool>,
+    net: Arc<NetPolicy>,
+    leader_watch: Arc<AtomicU64>,
 ) -> ReplicaReport<S> {
     let n = addrs.len();
     let (event_tx, event_rx) = mpsc::channel::<SmrEvent<S>>();
@@ -727,6 +999,7 @@ fn smr_replica_main<S: StateMachine>(
 
     // Start the node (in live mode this opens no slots until traffic
     // arrives).
+    let mut delayed = DelayedFrames::default();
     let actions = {
         let mut ctx: Context<'_, SmrMessage> =
             Context::detached(ProcessId(id), now_sim(started), &mut rng);
@@ -741,12 +1014,17 @@ fn smr_replica_main<S: StateMachine>(
         &mut timers,
         connect_attempts(started),
         &stats,
+        &net,
+        &mut delayed,
     );
 
     // Follower probing (the idle-leader-crash escape hatch): client
     // contacts answered with a redirect since the log last advanced.
     let mut unserved_contacts: u32 = 0;
     let mut last_progress: u64 = 0;
+    // Admission control: submissions answered `Overloaded` instead of
+    // queued because the pending queue was at its cap.
+    let mut shed_requests: u64 = 0;
 
     while !shutdown.load(Ordering::SeqCst) {
         if paused.load(Ordering::SeqCst) {
@@ -776,14 +1054,19 @@ fn smr_replica_main<S: StateMachine>(
                 &mut timers,
                 connect_attempts(started),
                 &stats,
+                &net,
+                &mut delayed,
             );
         }
+        // Release any latency-held outbound frames that came due.
+        delayed.flush(&mut peers, &addrs, connect_attempts(started), &stats);
 
-        // Wait for the next event or timer deadline.
+        // Wait for the next event, timer deadline, or held-frame release.
         let wait = timers
             .peek()
             .map(|Reverse((deadline, _))| deadline.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(20))
+            .min(delayed.next_due().unwrap_or(Duration::from_millis(20)))
             .min(Duration::from_millis(20));
         match event_rx.recv_timeout(wait) {
             Ok(SmrEvent::Peer(from, msg)) => {
@@ -801,6 +1084,8 @@ fn smr_replica_main<S: StateMachine>(
                     &mut timers,
                     connect_attempts(started),
                     &stats,
+                    &net,
+                    &mut delayed,
                 );
             }
             Ok(SmrEvent::Request {
@@ -830,6 +1115,23 @@ fn smr_replica_main<S: StateMachine>(
                     // the reply cache without re-ordering it
                     // (at-most-once).
                     send_reply::<S>(&reply, SmrReply::Applied { request, response });
+                } else if node.overloaded() && !waiting.contains_key(&request) {
+                    // Admission control: the pending queue is at its cap,
+                    // so shed this submission with an explicit signal
+                    // instead of letting the queue (and every queued
+                    // client's latency) grow without bound. The client
+                    // backs off and retries here — rotating to a follower
+                    // would only earn a redirect straight back. Retries of
+                    // an entry already queued are exempt: refusing those
+                    // would orphan their reply handle.
+                    shed_requests += 1;
+                    send_reply::<S>(
+                        &reply,
+                        SmrReply::Overloaded {
+                            request,
+                            queued: node.pending_len().min(u32::MAX as usize) as u32,
+                        },
+                    );
                 } else {
                     // Accept: remember who to answer, feed the entry into
                     // the pending queue. Duplicate in-flight retries just
@@ -855,6 +1157,8 @@ fn smr_replica_main<S: StateMachine>(
                         &mut timers,
                         connect_attempts(started),
                         &stats,
+                        &net,
+                        &mut delayed,
                     );
                 }
             }
@@ -916,6 +1220,8 @@ fn smr_replica_main<S: StateMachine>(
                 &mut timers,
                 connect_attempts(started),
                 &stats,
+                &net,
+                &mut delayed,
             );
             unserved_contacts = 0;
         }
@@ -946,6 +1252,9 @@ fn smr_replica_main<S: StateMachine>(
             unserved_contacts = 0;
         }
         applied_len.store(total, Ordering::SeqCst);
+        // Publish who this replica currently believes leads, so the
+        // nemesis layer can target "the leader" without guessing.
+        leader_watch.store(node.current_leader().index() as u64, Ordering::SeqCst);
     }
 
     // Join the accept loop and every reader before reporting, so shutdown
@@ -968,6 +1277,8 @@ fn smr_replica_main<S: StateMachine>(
         resident_slots: node.resident_slots(),
         dropped_messages: node.dropped_messages(),
         checkpoints: node.checkpoint_stats(),
+        shed_requests,
+        max_batch: node.max_batch_proposed(),
     }
 }
 
@@ -1135,6 +1446,7 @@ fn smr_reader_loop<S: StateMachine>(
 /// `connect_attempts` distinguishes the boot window (retry while peers
 /// come up) from steady state (fail fast so a dead replica cannot stall
 /// the event loop on every send).
+#[allow(clippy::too_many_arguments)]
 fn apply_smr_actions<S: StateMachine>(
     id: usize,
     addrs: &[SocketAddr],
@@ -1143,6 +1455,8 @@ fn apply_smr_actions<S: StateMachine>(
     timers: &mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
     connect_attempts: u32,
     stats: &TransportStats,
+    net: &NetPolicy,
+    delayed: &mut DelayedFrames,
 ) {
     for action in actions {
         match action {
@@ -1166,17 +1480,28 @@ fn apply_smr_actions<S: StateMachine>(
                     },
                 }
                 .to_wire_bytes();
-                if let Some(stream) = connect_peer(peers, to.index(), addrs, connect_attempts) {
-                    match write_frame(stream, &frame) {
-                        Ok(()) => {}
-                        // An unsendable frame (e.g. a snapshot beyond the
-                        // transport's MAX_FRAME cap) wrote nothing: the
-                        // link is healthy and also carries consensus
-                        // traffic, so keep it — but count the loss, or a
-                        // too-big-to-transfer snapshot would strand its
-                        // laggard with no observable signal.
-                        Err(FrameError::Oversized(_)) => stats.note_unsendable(),
-                        Err(_) => peers[to.index()] = None, // broken link; retry later
+                match net.decide(id, to.index()) {
+                    LinkDecision::Drop => continue,
+                    LinkDecision::Delay(by) => {
+                        // Hold the frame on the heap; the event loop
+                        // flushes it once its delivery instant is due.
+                        // Per-link FIFO order is preserved: a later frame
+                        // on the same link never samples a deadline that
+                        // sorts before an earlier one already enqueued.
+                        let at = delayed
+                            .heap
+                            .iter()
+                            .filter(|Reverse((_, _, dest, _))| *dest == to.index())
+                            .map(|Reverse((at, ..))| *at)
+                            .max()
+                            .map_or(Instant::now() + by, |tail| tail.max(Instant::now() + by));
+                        delayed.seq += 1;
+                        delayed
+                            .heap
+                            .push(Reverse((at, delayed.seq, to.index(), frame)));
+                    }
+                    LinkDecision::Deliver => {
+                        write_peer_frame(peers, to.index(), addrs, connect_attempts, stats, &frame);
                     }
                 }
             }
@@ -1185,6 +1510,71 @@ fn apply_smr_actions<S: StateMachine>(
                 timers.push(Reverse((deadline, token)));
             }
             Action::Halt => {}
+        }
+    }
+}
+
+/// One held-back frame: delivery instant, insertion sequence (FIFO tie
+/// break), destination replica index, encoded frame bytes.
+type HeldFrame = (Instant, u64, usize, Vec<u8>);
+
+/// Outbound frames held back by a [`LinkRule`]'s latency model, ordered by
+/// delivery instant (sequence number breaks ties to keep FIFO per link).
+#[derive(Debug, Default)]
+struct DelayedFrames {
+    heap: BinaryHeap<Reverse<HeldFrame>>,
+    seq: u64,
+}
+
+impl DelayedFrames {
+    /// Writes every frame whose delivery instant has passed.
+    fn flush(
+        &mut self,
+        peers: &mut [Option<TcpStream>],
+        addrs: &[SocketAddr],
+        connect_attempts: u32,
+        stats: &TransportStats,
+    ) {
+        while let Some(Reverse((at, ..))) = self.heap.peek() {
+            if *at > Instant::now() {
+                break;
+            }
+            let Some(Reverse((_, _, to, frame))) = self.heap.pop() else {
+                break;
+            };
+            write_peer_frame(peers, to, addrs, connect_attempts, stats, &frame);
+        }
+    }
+
+    /// How long until the earliest held frame is due, if any.
+    fn next_due(&self) -> Option<Duration> {
+        self.heap
+            .peek()
+            .map(|Reverse((at, ..))| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// Writes one already-encoded frame to peer `to`, (re)connecting as
+/// needed, with the shared unsendable/broken-link accounting.
+fn write_peer_frame(
+    peers: &mut [Option<TcpStream>],
+    to: usize,
+    addrs: &[SocketAddr],
+    connect_attempts: u32,
+    stats: &TransportStats,
+    frame: &[u8],
+) {
+    if let Some(stream) = connect_peer(peers, to, addrs, connect_attempts) {
+        match write_frame(stream, frame) {
+            Ok(()) => {}
+            // An unsendable frame (e.g. a snapshot beyond the
+            // transport's MAX_FRAME cap) wrote nothing: the
+            // link is healthy and also carries consensus
+            // traffic, so keep it — but count the loss, or a
+            // too-big-to-transfer snapshot would strand its
+            // laggard with no observable signal.
+            Err(FrameError::Oversized(_)) => stats.note_unsendable(),
+            Err(_) => peers[to] = None, // broken link; retry later
         }
     }
 }

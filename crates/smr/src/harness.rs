@@ -50,6 +50,8 @@ impl<S: StateMachine> SmrBuilder<S> {
                 batch_size: 1,
                 lazy_open: false,
                 checkpoint_interval: 0,
+                adaptive_batching: false,
+                max_pending: 0,
             },
             max_events: 50_000_000,
         }
@@ -70,6 +72,15 @@ impl<S: StateMachine> SmrBuilder<S> {
     /// Sets how many pending entries a proposer packs per slot.
     pub fn batch_size(mut self, batch: usize) -> Self {
         self.settings.batch_size = batch.max(1);
+        self
+    }
+
+    /// Sizes batches from the observed pending-queue depth instead of
+    /// the static `batch_size` cap (off by default in the sim harness,
+    /// which predates the adaptive loop and keeps batch boundaries
+    /// reproducible for slot-level assertions).
+    pub fn adaptive_batching(mut self, on: bool) -> Self {
+        self.settings.adaptive_batching = on;
         self
     }
 

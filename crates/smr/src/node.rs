@@ -30,7 +30,7 @@
 use crate::checkpoint::{
     CheckpointStats, CheckpointVote, Snapshot, StableCheckpoint, StateReply, StateRequest,
 };
-use crate::machine::{Batch, Entry, OpKind, RequestId, StateMachine};
+use crate::machine::{Batch, Entry, OpKind, RequestId, StateMachine, MAX_BATCH};
 use probft_core::config::{SharedConfig, View};
 use probft_core::message::Message;
 use probft_core::replica::Replica;
@@ -135,6 +135,23 @@ pub struct SmrSettings {
     /// and laggards past the buffering horizon catch up by snapshot
     /// transfer instead of log replay.
     pub checkpoint_interval: usize,
+    /// Adaptive batching: size each proposed batch from the *observed*
+    /// pending-queue depth — targeting a drain of the whole queue across
+    /// the slots the pipeline window can still open — instead of always
+    /// packing up to the static `batch_size` cap. Under light load
+    /// batches stay small (one consensus round per operation, minimal
+    /// latency); under a deep queue they grow past `batch_size` up to the
+    /// wire cap ([`MAX_BATCH`](crate::MAX_BATCH)), so throughput scales
+    /// with offered load instead of collapsing into per-op rounds. The
+    /// choice is proposer-local (followers decide on whatever value was
+    /// proposed), so it never affects cross-replica agreement.
+    pub adaptive_batching: bool,
+    /// Admission control: most entries the pending queue may hold before
+    /// the node reports itself [`overloaded`](SmrNode::overloaded)
+    /// (0 = unbounded). The live runtime sheds client submissions with an
+    /// explicit `Overloaded` reply at that point instead of queueing
+    /// without bound and collapsing.
+    pub max_pending: usize,
 }
 
 impl SmrSettings {
@@ -147,6 +164,8 @@ impl SmrSettings {
             batch_size: 1,
             lazy_open: false,
             checkpoint_interval: 0,
+            adaptive_batching: false,
+            max_pending: 0,
         }
     }
 
@@ -162,6 +181,8 @@ impl SmrSettings {
             batch_size,
             lazy_open: true,
             checkpoint_interval: 0,
+            adaptive_batching: true,
+            max_pending: 0,
         }
         .normalized()
     }
@@ -344,6 +365,10 @@ pub struct SmrNode<S: StateMachine> {
     applied_requests: BTreeMap<u64, (u64, S::Response)>,
     /// Apply notifications not yet drained by the embedding runtime.
     applied_events: Vec<AppliedRequest<S::Response>>,
+    /// Largest batch this node ever proposed — the observable half of the
+    /// adaptive-batching loop (how far past the static cap load pushed
+    /// it).
+    max_batch_proposed: usize,
     rng: StdRng,
 }
 
@@ -386,6 +411,7 @@ impl<S: StateMachine> SmrNode<S> {
             state: S::default(),
             applied_requests: BTreeMap::new(),
             applied_events: Vec::new(),
+            max_batch_proposed: 0,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -474,6 +500,23 @@ impl<S: StateMachine> SmrNode<S> {
         self.pending.len()
     }
 
+    /// Whether admission control considers this node overloaded: the
+    /// pending queue is at or past [`SmrSettings::max_pending`]. The
+    /// embedding runtime checks this before accepting a client submission
+    /// and sheds with an explicit `Overloaded` reply instead of letting
+    /// the queue (and every queued client's latency) grow without bound.
+    /// Always `false` with `max_pending = 0`.
+    pub fn overloaded(&self) -> bool {
+        self.settings.max_pending > 0 && self.pending.len() >= self.settings.max_pending
+    }
+
+    /// The largest batch this node ever proposed — with adaptive batching
+    /// this is the observed high-water mark of the queue-depth feedback
+    /// loop (it exceeds the static `batch_size` exactly when load did).
+    pub fn max_batch_proposed(&self) -> usize {
+        self.max_batch_proposed
+    }
+
     /// The replica this node believes currently leads the cluster: the
     /// leader of the lowest in-flight slot's view, or — when no slot is
     /// in flight — of the view the most recently applied slot decided in
@@ -557,16 +600,42 @@ impl<S: StateMachine> SmrNode<S> {
         std::mem::take(&mut self.applied_events)
     }
 
-    /// The value this node proposes for the next slot: a batch of up to
-    /// `batch_size` pending entries. With nothing pending the proposal is
-    /// an *empty* batch — it keeps the slot progressing without growing
-    /// the log (the generic replacement for ordering filler no-ops).
+    /// The value this node proposes for the next slot: a batch of pending
+    /// entries. With nothing pending the proposal is an *empty* batch — it
+    /// keeps the slot progressing without growing the log (the generic
+    /// replacement for ordering filler no-ops).
+    ///
+    /// With static batching the batch packs up to `batch_size` entries.
+    /// With [`adaptive_batching`](SmrSettings::adaptive_batching) the size
+    /// closes a feedback loop on the observed queue depth instead: each
+    /// batch takes `ceil(pending / slots the window can still open)`, so a
+    /// short queue spreads across the pipeline in small low-latency
+    /// batches while a deep queue drains in batches that grow past the
+    /// static cap (up to the wire limit) rather than falling behind one
+    /// `batch_size` slice per slot.
     ///
     /// Batches are drained in slot-open order, which is ascending slot
     /// order at every pipeline depth — that invariant is what makes a
     /// pipelined run decide the same value per slot as a sequential one.
     fn next_value(&mut self) -> Value {
-        let take = self.settings.batch_size.min(self.pending.len());
+        let pending = self.pending.len();
+        let take = if self.settings.adaptive_batching {
+            // `next_value` runs from `open_slot`, after `next_open` was
+            // advanced past the slot being opened — so the slots this
+            // window can still open, *including* this one, number
+            // `next_apply + depth - next_open + 1` (floored at 1: the
+            // lazy open-on-peer-traffic path can open a slot the local
+            // window would not have).
+            let window_left = (self.next_apply + self.settings.pipeline_depth as u64)
+                .saturating_sub(self.next_open)
+                .saturating_add(1)
+                .max(1) as usize;
+            pending.div_ceil(window_left).min(MAX_BATCH as usize)
+        } else {
+            self.settings.batch_size
+        }
+        .min(pending);
+        self.max_batch_proposed = self.max_batch_proposed.max(take);
         let entries: Vec<Entry<S::Op>> = self.pending.drain(..take).collect();
         Batch(entries).to_value()
     }
@@ -1294,6 +1363,8 @@ mod tests {
             batch_size: 1,
             lazy_open: false,
             checkpoint_interval: 0,
+            adaptive_batching: false,
+            max_pending: 0,
         });
         let spray = 1000;
         for i in 0..spray {
@@ -1319,6 +1390,8 @@ mod tests {
             batch_size: 1,
             lazy_open: false,
             checkpoint_interval: 0,
+            adaptive_batching: false,
+            max_pending: 0,
         });
         // Slot inside the buffering horizon but not yet open (the node
         // has not started, so nothing is open).
@@ -1428,6 +1501,8 @@ mod tests {
                 batch_size: 1,
                 lazy_open: true,
                 checkpoint_interval: interval,
+                adaptive_batching: false,
+                max_pending: 0,
             },
         );
         (node, StdRng::seed_from_u64(id as u64 + 1))

@@ -791,6 +791,17 @@ mod tests {
         let wire = Message::Prepare(msg.clone());
         let decoded = Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap();
         assert_eq!(decoded, wire);
+
+        // The bare structs (not just the enum wrapper) must roundtrip.
+        assert_eq!(
+            PhaseMessage::from_wire_bytes(&msg.to_wire_bytes()).unwrap(),
+            msg
+        );
+        let p = proposal(&cfg, &ring, View(1), 1);
+        assert_eq!(
+            SignedProposal::from_wire_bytes(&p.to_wire_bytes()).unwrap(),
+            p
+        );
     }
 
     #[test]
@@ -837,6 +848,11 @@ mod tests {
         let ctx = VerifyCtx::new(&cfg, &public);
         assert!(propose.verify(&ctx).is_ok());
 
+        // The bare struct (not just the enum wrapper) must roundtrip.
+        assert_eq!(
+            Propose::from_wire_bytes(&propose.to_wire_bytes()).unwrap(),
+            propose
+        );
         let wire = Message::Propose(propose);
         let decoded = Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap();
         assert_eq!(decoded, wire);
@@ -868,6 +884,8 @@ mod tests {
         let public = ring.public();
         let ctx = VerifyCtx::new(&cfg, &public);
         assert!(w.verify(&ctx).is_ok());
+        // The bare struct (not just the enum wrapper) must roundtrip.
+        assert_eq!(Wish::from_wire_bytes(&w.to_wire_bytes()).unwrap(), w);
         let wire = Message::Wish(w);
         assert_eq!(
             Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap(),
@@ -910,6 +928,8 @@ mod tests {
         let public = ring.public();
         let ctx = VerifyCtx::new(&cfg, &public);
         assert!(nl.verify(&ctx).is_ok());
+        // The bare struct (not just the enum wrapper) must roundtrip.
+        assert_eq!(NewLeader::from_wire_bytes(&nl.to_wire_bytes()).unwrap(), nl);
         let wire = Message::NewLeader(nl);
         assert_eq!(
             Message::from_wire_bytes(&wire.to_wire_bytes()).unwrap(),

@@ -538,6 +538,8 @@ mod tests {
             Value::from_tag(1).digest(),
         );
         assert!(v.verify(&ctx).is_ok());
+        // The bare struct (not just the enum wrapper) must roundtrip.
+        assert_eq!(HsVote::from_wire_bytes(&v.to_wire_bytes()).unwrap(), v);
         let wire = HsMessage::Vote(v);
         assert_eq!(
             HsMessage::from_wire_bytes(&wire.to_wire_bytes()).unwrap(),
@@ -570,6 +572,8 @@ mod tests {
             votes: votes.clone(),
         };
         assert!(qc.is_valid(&ctx));
+        // The bare struct (not just the enum wrapper) must roundtrip.
+        assert_eq!(Qc::from_wire_bytes(&qc.to_wire_bytes()).unwrap(), qc);
 
         let undersized = Qc {
             phase: HsPhase::Prepare,
@@ -607,6 +611,20 @@ mod tests {
             msg.verify(&ctx),
             Err(RejectReason::WrongLeader { .. })
         ));
+    }
+
+    #[test]
+    fn leader_broadcast_round_trips_bare() {
+        // The payload enum must roundtrip on its own, not only inside a
+        // signed HsMessage envelope.
+        let lb = LeaderBroadcast::Propose {
+            value: Value::from_tag(2),
+            high_qc: None,
+        };
+        assert_eq!(
+            LeaderBroadcast::from_wire_bytes(&lb.to_wire_bytes()).unwrap(),
+            lb
+        );
     }
 
     #[test]

@@ -1,0 +1,11 @@
+// Deliberate L001 bait: the test scans this with a synthetic
+// crates/runtime/src/ path so the panic-free rule applies. Never compiled —
+// the fixtures directory is neither a cargo target nor part of the repo walk.
+pub fn lookup(values: &[u32], hint: Option<usize>) -> u32 {
+    let slot = hint.unwrap();
+    let fallback = hint.expect("hint must be set");
+    if slot >= values.len() {
+        panic!("hint out of range");
+    }
+    values[slot] + fallback as u32
+}

@@ -1,0 +1,10 @@
+// Deliberate L002 bait: a decode path that trusts a wire-supplied count for
+// both its allocation and its loop bound, with no MAX_*-derived cap.
+pub fn decode(bytes: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    let count = len_prefix(bytes)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(take_u8(bytes)?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,11 @@
+// Deliberate L003 bait: a Wire impl with no roundtrip test anywhere in the
+// scanned corpus.
+pub struct Unproven {
+    pub tag: u8,
+}
+
+impl Wire for Unproven {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag);
+    }
+}

@@ -1,0 +1,7 @@
+// Deliberate L004 bait: the mutex guard is still in scope when the frame
+// write runs, so one slow peer can stall every thread contending the lock.
+pub fn broadcast(peer: &std::sync::Mutex<std::net::TcpStream>, frame: &[u8]) {
+    if let Ok(mut stream) = peer.lock() {
+        let _ = write_frame(&mut *stream, frame);
+    }
+}

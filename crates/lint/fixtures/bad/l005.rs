@@ -1,0 +1,5 @@
+// Deliberate L005 bait: a raw sleep in consensus code, outside the
+// sanctioned runtime::pacing module.
+pub fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(50));
+}

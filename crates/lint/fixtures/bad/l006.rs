@@ -1,0 +1,5 @@
+// Deliberate L006 bait: unsafe code outside vendor/.
+pub fn split_tag(raw: u64) -> u32 {
+    let halves: [u32; 2] = unsafe { std::mem::transmute(raw) };
+    halves[0]
+}

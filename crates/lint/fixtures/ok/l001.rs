@@ -1,0 +1,22 @@
+//! Panic-free shipped code. Mentions of unwrap(), expect(), panic! and
+//! unsafe in comments or string literals are masked before any rule runs,
+//! and test regions tolerate all of them.
+
+pub fn describe() -> &'static str {
+    "calling unwrap() or panic! here would be bad, but this is just a string"
+}
+
+pub fn lookup(values: &[u32], hint: Option<usize>) -> Option<u32> {
+    values.get(hint?).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lookup;
+
+    #[test]
+    fn test_regions_tolerate_panicking_constructs() {
+        let values = [7u32, 9];
+        assert_eq!(lookup(&values, Some(1)).unwrap(), values[1]);
+    }
+}

@@ -1,0 +1,15 @@
+// A decode path that checks the wire-supplied count against a MAX_*-derived
+// bound before allocating or looping — the shape L002 requires.
+pub const MAX_ITEMS: u32 = 4096;
+
+pub fn decode(bytes: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    let count = len_prefix(bytes)? as u32;
+    if count > MAX_ITEMS {
+        return Err(WireError::LengthOverflow(u64::from(count)));
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        out.push(take_u8(bytes)?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,9 @@
+// The lock-discipline shape L004 accepts: copy what you need out of the
+// guarded state in an inner block, then do socket I/O with no guard alive.
+pub fn snapshot_then_send(state: &std::sync::Mutex<Vec<u8>>, stream: &mut std::net::TcpStream) {
+    let frame = {
+        let Ok(guard) = state.lock() else { return };
+        guard.clone()
+    };
+    let _ = write_frame(stream, &frame);
+}

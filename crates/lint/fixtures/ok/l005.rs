@@ -1,0 +1,10 @@
+//! Sleeps are fine inside test regions; shipped waits must go through
+//! runtime::pacing (which the tests also scan under its own path).
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_tests_can_sleep() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

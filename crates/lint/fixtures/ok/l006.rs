@@ -1,0 +1,10 @@
+//! Talking about unsafe code in docs is fine — only the keyword in real
+//! code positions fires L006.
+
+/// Callers get a masked view, so the word unsafe in this doc comment and in
+/// the string below must not count.
+pub fn tag(raw: u64) -> u32 {
+    let message = "the word unsafe in a string literal is masked";
+    let _ = message;
+    (raw >> 32) as u32
+}

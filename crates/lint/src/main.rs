@@ -1,0 +1,92 @@
+//! The `probft-lint` binary: scan the repo, filter through
+//! `lint-allow.toml`, print stable diagnostics, and exit nonzero on any
+//! unallowlisted finding. Run from the repo root (CI does) or pass
+//! `--root <dir>`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use probft_lint::{apply_allowlist, parse_allowlist, render, scan_repo, Allowlist};
+
+const USAGE: &str = "usage: probft-lint [--root DIR] [--allow FILE]
+
+Scans the workspace for violations of the repo lint rules (L001-L006) and
+exits nonzero on any finding not justified in lint-allow.toml.";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--allow" => match args.next() {
+                Some(file) => allow_path = Some(PathBuf::from(file)),
+                None => return usage_error("--allow needs a file"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint-allow.toml"));
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match parse_allowlist(&text) {
+            Ok(allow) => allow,
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::from(2);
+            }
+        },
+        // No allowlist is fine: everything found must then be clean.
+        Err(_) => Allowlist::default(),
+    };
+
+    let findings = match scan_repo(&root) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("error: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let filtered = apply_allowlist(findings, &allow);
+    for idx in &filtered.unused {
+        if let Some(entry) = allow.entries.get(*idx) {
+            eprintln!(
+                "warning: unused allow entry ({} {} pattern {:?}) — remove it or fix the pattern",
+                entry.path, entry.rule, entry.pattern
+            );
+        }
+    }
+    print!("{}", render(&filtered.kept));
+    if filtered.kept.is_empty() {
+        println!(
+            "probft-lint: clean ({} finding(s) justified in {})",
+            filtered.suppressed,
+            allow_path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "probft-lint: {} violation(s) ({} suppressed); fix them or justify each in {}",
+            filtered.kept.len(),
+            filtered.suppressed,
+            allow_path.display()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

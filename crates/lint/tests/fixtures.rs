@@ -1,0 +1,269 @@
+//! Fixture tests for the lint engine. Each `fixtures/bad/*.rs` snippet must
+//! trip exactly its rule and each `fixtures/ok/*.rs` counterpart must scan
+//! clean; the snippets are plain text to the engine (never compiled), and
+//! the paths they are scanned under are synthetic, chosen to land inside —
+//! or deliberately outside — each rule's scope.
+
+use probft_lint::{
+    apply_allowlist, mask_code, parse_allowlist, render, scan_sources, Finding, SourceFile,
+};
+
+const BAD_L001: &str = include_str!("../fixtures/bad/l001.rs");
+const BAD_L002: &str = include_str!("../fixtures/bad/l002.rs");
+const BAD_L003: &str = include_str!("../fixtures/bad/l003.rs");
+const BAD_L004: &str = include_str!("../fixtures/bad/l004.rs");
+const BAD_L005: &str = include_str!("../fixtures/bad/l005.rs");
+const BAD_L006: &str = include_str!("../fixtures/bad/l006.rs");
+
+const OK_L001: &str = include_str!("../fixtures/ok/l001.rs");
+const OK_L002: &str = include_str!("../fixtures/ok/l002.rs");
+const OK_L003: &str = include_str!("../fixtures/ok/l003.rs");
+const OK_L004: &str = include_str!("../fixtures/ok/l004.rs");
+const OK_L005: &str = include_str!("../fixtures/ok/l005.rs");
+const OK_L006: &str = include_str!("../fixtures/ok/l006.rs");
+
+/// The paths the combined bad-suite scan uses; each places its snippet in
+/// the narrowest scope where its rule applies.
+const BAD_SUITE: &[(&str, &str)] = &[
+    ("crates/runtime/src/fixture_l001.rs", BAD_L001),
+    ("crates/core/src/fixture_l002.rs", BAD_L002),
+    ("crates/core/src/fixture_l003.rs", BAD_L003),
+    ("crates/core/src/fixture_l004.rs", BAD_L004),
+    ("crates/smr/src/fixture_l005.rs", BAD_L005),
+    ("crates/core/src/fixture_l006.rs", BAD_L006),
+];
+
+fn scan_one(path: &str, text: &str) -> Vec<Finding> {
+    scan_sources(&[SourceFile {
+        path: path.to_string(),
+        text: text.to_string(),
+    }])
+}
+
+fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// --- L001 ------------------------------------------------------------------
+
+#[test]
+fn l001_flags_every_panicking_construct() {
+    let findings = scan_one("crates/runtime/src/fixture_l001.rs", BAD_L001);
+    assert_eq!(rules(&findings), ["L001", "L001", "L001", "L001"]);
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("unwrap")));
+    assert!(messages.iter().any(|m| m.contains("expect")));
+    assert!(messages.iter().any(|m| m.contains("panic!")));
+    assert!(messages.iter().any(|m| m.contains("index expression")));
+}
+
+#[test]
+fn l001_ignores_strings_comments_and_test_regions() {
+    let findings = scan_one("crates/runtime/src/fixture_l001.rs", OK_L001);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn l001_is_scoped_to_consensus_crates() {
+    // The same bait outside crates/runtime|smr/src/ is out of scope.
+    let findings = scan_one("crates/analysis/src/fixture.rs", BAD_L001);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// --- L002 ------------------------------------------------------------------
+
+#[test]
+fn l002_flags_uncapped_allocation_and_loop() {
+    let findings = scan_one("crates/core/src/fixture_l002.rs", BAD_L002);
+    assert_eq!(rules(&findings), ["L002", "L002"]);
+    assert!(findings[0].message.contains("allocation"));
+    assert!(findings[1].message.contains("decode loop"));
+}
+
+#[test]
+fn l002_accepts_max_guarded_decode() {
+    let findings = scan_one("crates/core/src/fixture_l002.rs", OK_L002);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// --- L003 ------------------------------------------------------------------
+
+#[test]
+fn l003_flags_wire_impl_without_roundtrip_test() {
+    let findings = scan_one("crates/core/src/fixture_l003.rs", BAD_L003);
+    assert_eq!(rules(&findings), ["L003"]);
+    assert!(findings[0].message.contains("`Unproven`"));
+}
+
+#[test]
+fn l003_accepts_wire_impl_with_roundtrip_test() {
+    let findings = scan_one("crates/core/src/fixture_l003.rs", OK_L003);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn l003_coverage_is_corpus_wide_not_per_file() {
+    // One scan over both files: `Proven` is covered by the other file's test
+    // region, `Unproven` still is not.
+    let findings = scan_sources(&[
+        SourceFile {
+            path: "crates/core/src/a.rs".to_string(),
+            text: BAD_L003.to_string(),
+        },
+        SourceFile {
+            path: "crates/core/src/b.rs".to_string(),
+            text: OK_L003.to_string(),
+        },
+    ]);
+    assert_eq!(rules(&findings), ["L003"]);
+    assert!(findings[0].message.contains("`Unproven`"));
+}
+
+// --- L004 ------------------------------------------------------------------
+
+#[test]
+fn l004_flags_guard_held_across_socket_io() {
+    let findings = scan_one("crates/core/src/fixture_l004.rs", BAD_L004);
+    assert_eq!(rules(&findings), ["L004"]);
+    assert!(findings[0].line_text.contains("peer.lock()"));
+}
+
+#[test]
+fn l004_accepts_guard_dropped_before_io() {
+    let findings = scan_one("crates/core/src/fixture_l004.rs", OK_L004);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn l004_skips_whole_file_test_targets() {
+    // Files under a tests/ directory are one big test region.
+    let findings = scan_one("crates/runtime/tests/io.rs", BAD_L004);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// --- L005 ------------------------------------------------------------------
+
+#[test]
+fn l005_flags_raw_sleep_in_consensus_code() {
+    let findings = scan_one("crates/smr/src/fixture_l005.rs", BAD_L005);
+    assert_eq!(rules(&findings), ["L005"]);
+}
+
+#[test]
+fn l005_exempts_the_pacing_module() {
+    let findings = scan_one("crates/runtime/src/pacing.rs", BAD_L005);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn l005_ignores_sleeps_in_test_regions() {
+    let findings = scan_one("crates/smr/src/fixture_l005.rs", OK_L005);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// --- L006 ------------------------------------------------------------------
+
+#[test]
+fn l006_flags_unsafe_outside_vendor() {
+    let findings = scan_one("crates/core/src/fixture_l006.rs", BAD_L006);
+    assert_eq!(rules(&findings), ["L006"]);
+}
+
+#[test]
+fn l006_ignores_unsafe_in_prose_and_exempts_vendor() {
+    let findings = scan_one("crates/core/src/fixture_l006.rs", OK_L006);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+    let findings = scan_one("vendor/rand/src/lib.rs", BAD_L006);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// --- Masking edge cases ----------------------------------------------------
+
+#[test]
+fn masking_neutralizes_nested_comments_and_raw_strings() {
+    let text = "/* outer /* nested .unwrap() panic! */ still comment */\n\
+                pub fn f() -> &'static str {\n\
+                    r#\"raw string with .expect( and unsafe inside\"#\n\
+                }\n";
+    let findings = scan_one("crates/runtime/src/fixture_masking.rs", text);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+    // The masked text keeps byte offsets and line structure intact.
+    assert_eq!(mask_code(text).len(), text.len());
+    assert_eq!(
+        mask_code(text).matches('\n').count(),
+        text.matches('\n').count()
+    );
+}
+
+// --- Allowlist -------------------------------------------------------------
+
+#[test]
+fn allowlist_suppresses_a_justified_finding() {
+    let findings = scan_one("crates/core/src/fixture_l004.rs", BAD_L004);
+    let allow = parse_allowlist(
+        r#"
+[[allow]]
+path = "crates/core/src/fixture_l004.rs"
+rule = "L004"
+pattern = "peer.lock()"
+reason = "fixture: the guard is the write half and the frame is bounded"
+"#,
+    )
+    .expect("allowlist parses");
+    let filtered = apply_allowlist(findings, &allow);
+    assert!(filtered.kept.is_empty(), "unexpected: {:?}", filtered.kept);
+    assert_eq!(filtered.suppressed, 1);
+    assert!(filtered.unused.is_empty());
+}
+
+#[test]
+fn allowlist_rejects_entries_without_a_reason() {
+    let err = parse_allowlist(
+        r#"
+[[allow]]
+path = "crates/core/src/fixture_l004.rs"
+rule = "L004"
+pattern = "peer.lock()"
+"#,
+    )
+    .expect_err("reasonless entry must fail");
+    assert!(err.contains("reason"), "unexpected error: {err}");
+}
+
+#[test]
+fn allowlist_reports_unused_entries_and_keeps_unmatched_findings() {
+    let findings = scan_one("crates/core/src/fixture_l004.rs", BAD_L004);
+    let allow = parse_allowlist(
+        r#"
+[[allow]]
+path = "crates/core/src/fixture_l004.rs"
+rule = "L004"
+pattern = "this pattern matches nothing"
+reason = "stale entry that should be flagged as unused"
+"#,
+    )
+    .expect("allowlist parses");
+    let filtered = apply_allowlist(findings, &allow);
+    assert_eq!(filtered.kept.len(), 1);
+    assert_eq!(filtered.suppressed, 0);
+    assert_eq!(filtered.unused, [0]);
+}
+
+// --- Byte-stable diagnostics ----------------------------------------------
+
+#[test]
+fn bad_suite_diagnostics_are_byte_stable() {
+    let sources: Vec<SourceFile> = BAD_SUITE
+        .iter()
+        .map(|(path, text)| SourceFile {
+            path: path.to_string(),
+            text: text.to_string(),
+        })
+        .collect();
+    let rendered = render(&scan_sources(&sources));
+    let expected = include_str!("../fixtures/expected.txt");
+    assert_eq!(
+        rendered, expected,
+        "diagnostics drifted; update fixtures/expected.txt deliberately"
+    );
+}

@@ -568,6 +568,11 @@ mod tests {
         );
         assert!(good.verify(&ctx).is_ok());
         assert!(good.is_valid(&ctx));
+        // The bare struct (not just the enum wrapper) must roundtrip.
+        assert_eq!(
+            PbftNewLeader::from_wire_bytes(&good.to_wire_bytes()).unwrap(),
+            good
+        );
 
         let undersized = PbftNewLeader::sign(
             ring.signing_key(0).unwrap(),
@@ -617,6 +622,8 @@ mod tests {
         let p = PbftPropose::sign(ring.signing_key(0).unwrap(), proposal, vec![]);
         assert!(p.verify(&ctx).is_ok());
         assert!(p.is_safe(&ctx));
+        // The bare struct (not just the enum wrapper) must roundtrip.
+        assert_eq!(PbftPropose::from_wire_bytes(&p.to_wire_bytes()).unwrap(), p);
         let wire = PbftMessage::Propose(p);
         assert_eq!(
             PbftMessage::from_wire_bytes(&wire.to_wire_bytes()).unwrap(),

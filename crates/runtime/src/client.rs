@@ -272,12 +272,13 @@ impl<S: StateMachine> SmrClient<S> {
         if self.addrs.is_empty() {
             return addr;
         }
-        match self.addrs.iter().position(|&a| a == addr) {
-            Some(i) => self.addrs[(i + 1) % self.addrs.len()],
+        let next = match self.addrs.iter().position(|&a| a == addr) {
+            Some(i) => self.addrs.get((i + 1) % self.addrs.len()),
             // Redirected to an address outside the configured list and it
             // failed: start over at the front of the list.
-            None => self.addrs[0],
-        }
+            None => self.addrs.first(),
+        };
+        next.copied().unwrap_or(addr)
     }
 
     fn send_until_applied(
@@ -348,7 +349,7 @@ impl<S: StateMachine> SmrClient<S> {
                 // short pause (avoids a hot spin while a cluster boots).
                 self.drop_conn();
                 self.hint = self.next_addr_after(target);
-                std::thread::sleep(Duration::from_millis(10));
+                crate::pacing::pause(crate::pacing::CLIENT_RETRY);
                 continue;
             }
 
@@ -370,7 +371,7 @@ impl<S: StateMachine> SmrClient<S> {
                         .saturating_mul(1u32 << overload_streak.min(10))
                         .min(OVERLOAD_BACKOFF_CAP);
                     overload_streak += 1;
-                    std::thread::sleep(backoff);
+                    crate::pacing::pause(backoff);
                 }
                 None => {
                     // Reply timeout or torn connection: resend the same
@@ -508,6 +509,7 @@ enum Answer<R> {
 /// A placeholder address for a client constructed with no replicas; every
 /// operation on such a client fails with [`ClientError::NoReplicas`]
 /// before the address is ever used.
-fn unusable_addr() -> SocketAddr {
-    "0.0.0.0:0".parse().expect("literal address parses")
+pub(crate) fn unusable_addr() -> SocketAddr {
+    use std::net::{IpAddr, Ipv4Addr};
+    SocketAddr::new(IpAddr::V4(Ipv4Addr::UNSPECIFIED), 0)
 }

@@ -124,6 +124,10 @@ pub enum ClusterError {
         /// Cluster size.
         n: usize,
     },
+    /// The cluster was misconfigured (e.g. a keyring shorter than `n`).
+    /// Surfaced as a typed error so setup bugs fail the run, not the
+    /// process.
+    Config(&'static str),
 }
 
 impl fmt::Display for ClusterError {
@@ -133,6 +137,7 @@ impl fmt::Display for ClusterError {
             ClusterError::Timeout { decided, n } => {
                 write!(f, "only {decided}/{n} replicas decided before the deadline")
             }
+            ClusterError::Config(what) => write!(f, "cluster misconfigured: {what}"),
         }
     }
 }
@@ -245,7 +250,10 @@ impl ClusterBuilder {
         let mut handles = Vec::with_capacity(self.n);
         for (i, listener) in listeners.into_iter().enumerate() {
             let cfg = cfg.clone();
-            let sk = keyring.signing_key(i).expect("in range").clone();
+            let sk = keyring
+                .signing_key(i)
+                .map_err(|_| ClusterError::Config("keyring shorter than cluster size"))?
+                .clone();
             let public = public.clone();
             let shutdown = shutdown.clone();
             let stats = stats.clone();
@@ -278,8 +286,10 @@ impl ClusterBuilder {
                 .unwrap_or(Duration::ZERO);
             match decision_rx.recv_timeout(remaining.max(Duration::from_millis(1))) {
                 Ok((id, d)) => {
-                    if decisions[id].is_none() {
-                        decisions[id] = Some(d);
+                    // `id` comes off a channel; index fallibly so a buggy
+                    // sender cannot panic the collector.
+                    if let Some(slot @ None) = decisions.get_mut(id) {
+                        *slot = Some(d);
                         decided += 1;
                     }
                 }
@@ -358,7 +368,7 @@ fn replica_main(
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(5));
+                        crate::pacing::pause(crate::pacing::ACCEPT_POLL);
                     }
                     Err(_) => break,
                 }
@@ -510,7 +520,10 @@ fn apply_actions(
                 if let Some(stream) = connect_peer(peers, to.index(), addrs, BOOT_CONNECT_ATTEMPTS)
                 {
                     if write_frame(stream, &frame).is_err() {
-                        peers[to.index()] = None; // drop broken link; retry later
+                        // Drop the broken link; a later send reconnects.
+                        if let Some(slot) = peers.get_mut(to.index()) {
+                            *slot = None;
+                        }
                     }
                 }
             }
@@ -529,7 +542,7 @@ fn apply_actions(
 pub(crate) fn reap_finished(handles: &mut Vec<thread::JoinHandle<()>>) {
     let mut i = 0;
     while i < handles.len() {
-        if handles[i].is_finished() {
+        if handles.get(i).is_some_and(|h| h.is_finished()) {
             let _ = handles.swap_remove(i).join();
         } else {
             i += 1;
@@ -563,20 +576,22 @@ pub(crate) fn connect_peer<'a>(
     addrs: &[SocketAddr],
     attempts: u32,
 ) -> Option<&'a mut TcpStream> {
-    if peers[to].is_none() {
+    let addr = *addrs.get(to)?;
+    let slot = peers.get_mut(to)?;
+    if slot.is_none() {
         for attempt in 0..attempts {
             if attempt > 0 {
-                thread::sleep(Duration::from_millis(10));
+                crate::pacing::pause(crate::pacing::CONNECT_RETRY);
             }
-            if let Ok(s) = TcpStream::connect(addrs[to]) {
+            if let Ok(s) = TcpStream::connect(addr) {
                 let _ = s.set_nodelay(true);
                 let _ = s.set_write_timeout(Some(WRITE_STALL_LIMIT));
-                peers[to] = Some(s);
+                *slot = Some(s);
                 break;
             }
         }
     }
-    peers[to].as_mut()
+    slot.as_mut()
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@ pub mod client;
 pub mod cluster;
 pub mod live;
 pub mod nemesis;
+pub(crate) mod pacing;
 pub mod transport;
 
 pub use client::{ClientError, SmrClient};

@@ -679,17 +679,27 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
         net.reseed(self.seed);
 
         let mut handles = Vec::with_capacity(self.n);
-        for (i, listener) in listeners.into_iter().enumerate() {
+        // Zip the per-replica handles instead of indexing them: the loop
+        // can then never panic, even if a future edit desynchronizes the
+        // vector lengths (it would shorten the zip, and the keyring lookup
+        // below reports that as a typed config error).
+        let per_replica = listeners
+            .into_iter()
+            .zip(applied_lens.iter().cloned())
+            .zip(paused.iter().cloned())
+            .zip(leader_watches.iter().cloned())
+            .enumerate();
+        for (i, (((listener, applied_len), paused), leader_watch)) in per_replica {
             let cfg = cfg.clone();
-            let sk = keyring.signing_key(i).expect("in range").clone();
+            let sk = keyring
+                .signing_key(i)
+                .map_err(|_| ClusterError::Config("keyring shorter than cluster size"))?
+                .clone();
             let public = public.clone();
             let shutdown = shutdown.clone();
             let stats = stats.clone();
             let addrs = addrs.clone();
-            let applied_len = applied_lens[i].clone();
-            let paused = paused[i].clone();
             let net = net.clone();
-            let leader_watch = leader_watches[i].clone();
             handles.push(thread::spawn(move || {
                 smr_replica_main::<S>(
                     i,
@@ -861,7 +871,7 @@ impl<S: StateMachine> LiveSmrCluster<S> {
                 .filter(|(_, paused)| !paused.load(Ordering::SeqCst))
                 .map(|(len, _)| len)
                 .collect();
-            let all_equal = lens.windows(2).all(|w| w[0] == w[1]);
+            let all_equal = lens.iter().zip(lens.iter().skip(1)).all(|(a, b)| a == b);
             match &stable {
                 Some((prev, since)) if *prev == lens => {
                     if all_equal && since.elapsed() >= Duration::from_millis(250) {
@@ -870,7 +880,7 @@ impl<S: StateMachine> LiveSmrCluster<S> {
                 }
                 _ => stable = Some((lens, Instant::now())),
             }
-            thread::sleep(Duration::from_millis(5));
+            crate::pacing::pause(crate::pacing::QUIESCE_POLL);
         }
         self.shutdown.store(true, Ordering::SeqCst);
         let mut reports: Vec<ReplicaReport<S>> = self
@@ -965,7 +975,7 @@ fn smr_replica_main<S: StateMachine>(
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(5));
+                        crate::pacing::pause(crate::pacing::ACCEPT_POLL);
                     }
                     Err(_) => break,
                 }
@@ -994,7 +1004,14 @@ fn smr_replica_main<S: StateMachine>(
     // as an (id, address) pair taken from its current working view.
     let leader_hint = |node: &SmrNode<S>| {
         let leader = node.current_leader();
-        (leader.index() as u32, addrs[leader.index() % n])
+        // `% n` keeps the index in range for any sane `addrs`; `.get`
+        // degrades an impossible empty list to a redirect the client
+        // treats as unreachable, instead of panicking the replica.
+        let addr = addrs
+            .get(leader.index() % n.max(1))
+            .copied()
+            .unwrap_or_else(crate::client::unusable_addr);
+        (leader.index() as u32, addr)
     };
 
     // Start the node (in live mode this opens no slots until traffic
@@ -1031,7 +1048,7 @@ fn smr_replica_main<S: StateMachine>(
             // Fault injection: a paused replica is a partitioned process.
             // Discard whatever arrives, fire nothing, send nothing.
             while event_rx.try_recv().is_ok() {}
-            thread::sleep(Duration::from_millis(5));
+            crate::pacing::pause(crate::pacing::PAUSED_POLL);
             continue;
         }
         // Fire due timers.
@@ -1574,7 +1591,12 @@ fn write_peer_frame(
             // too-big-to-transfer snapshot would strand its
             // laggard with no observable signal.
             Err(FrameError::Oversized(_)) => stats.note_unsendable(),
-            Err(_) => peers[to] = None, // broken link; retry later
+            Err(_) => {
+                // Broken link; a later send reconnects.
+                if let Some(slot) = peers.get_mut(to) {
+                    *slot = None;
+                }
+            }
         }
     }
 }

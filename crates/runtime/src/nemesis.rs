@@ -180,7 +180,7 @@ pub fn execute<S: StateMachine>(cluster: &LiveSmrCluster<S>, plan: &FaultPlan) -
     let mut transcript = vec![format!("seed={}", plan.seed)];
     for (offset, fault) in plan.events() {
         if let Some(wait) = offset.checked_sub(started.elapsed()) {
-            std::thread::sleep(wait);
+            crate::pacing::pause(wait);
         }
         let line = apply_fault(cluster, &fault, plan.seed);
         transcript.push(format!("t+{}ms {line}", offset.as_millis()));

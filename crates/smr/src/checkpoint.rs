@@ -70,6 +70,14 @@ impl<S: StateMachine> Snapshot<S> {
     }
 }
 
+/// Cap on the reply-cache entry count a snapshot may advertise, derived
+/// from the transport bound: every entry costs at least 17 encoded bytes
+/// (client u64 + seq u64 + ≥1 response byte), so a frame that fits under
+/// the 16 MiB `MAX_FRAME`/`MAX_LEN` transport cap can never carry more
+/// than `MAX_LEN / 17` real entries. A count above this is an attack (or
+/// corruption), rejected before the decode loop runs.
+pub const MAX_SNAPSHOT_REPLIES: u32 = (probft_core::wire::MAX_LEN / 17) as u32;
+
 impl<S: StateMachine> Wire for Snapshot<S> {
     fn encode(&self, out: &mut Vec<u8>) {
         put::u64(out, self.slot);
@@ -91,6 +99,12 @@ impl<S: StateMachine> Wire for Snapshot<S> {
         let mut state = S::default();
         state.restore(r.var_bytes()?)?;
         let count = r.u32()?;
+        // Reject attacker-sized counts before looping: a forged header
+        // must not buy 4 billion decode iterations (nor let a future
+        // preallocation here turn into an OOM).
+        if count > MAX_SNAPSHOT_REPLIES {
+            return Err(WireError::LengthOverflow(u64::from(count)));
+        }
         let mut replies = BTreeMap::new();
         for _ in 0..count {
             let client = r.u64()?;
@@ -182,12 +196,13 @@ impl Wire for CheckpointVote {
 
 impl fmt::Display for CheckpointVote {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex = self.digest.to_hex();
         write!(
             f,
             "checkpoint-vote r{} slot {} {}",
             self.from.0,
             self.slot,
-            &self.digest.to_hex()[..8]
+            hex.get(..8).unwrap_or(&hex)
         )
     }
 }
@@ -343,6 +358,26 @@ mod tests {
                 "prefix of {len} bytes must not decode"
             );
         }
+    }
+
+    #[test]
+    fn snapshot_rejects_forged_reply_count_without_looping() {
+        // A frame whose header advertises u32::MAX reply-cache entries is
+        // an attack: the decoder must reject the count up front (typed
+        // LengthOverflow), not start a 4-billion-iteration decode loop
+        // that only dies on reader exhaustion.
+        let mut snapshot = sample_snapshot();
+        snapshot.replies.clear();
+        let mut bytes = snapshot.to_wire_bytes();
+        // With the reply map cleared, the count u32 is the final field of
+        // the encoding: strip the honest zero and splice in a forged one.
+        let len = bytes.len();
+        bytes.truncate(len - 4);
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            Snapshot::<KvStore>::from_wire_bytes(&bytes),
+            Err(WireError::LengthOverflow(u64::from(u32::MAX)))
+        );
     }
 
     #[test]

@@ -185,6 +185,13 @@ impl<S: StateMachine> SmrBuilder<S> {
     }
 }
 
+/// Whether every element equals its neighbor (vacuously true for empty
+/// and single-element slices) — the panic-free replacement for the
+/// `windows(2)` + index idiom.
+fn all_adjacent_equal<T: PartialEq>(items: &[T]) -> bool {
+    items.iter().zip(items.iter().skip(1)).all(|(a, b)| a == b)
+}
+
 /// Result of an SMR run.
 #[derive(Clone, Debug)]
 pub struct SmrOutcome<S: StateMachine = KvStore> {
@@ -236,18 +243,21 @@ impl<S: StateMachine> SmrOutcome<S> {
     /// compare over their *full* histories, not just the resident
     /// suffixes.
     pub fn logs_consistent(&self) -> bool {
-        let lens = self.total_log_lens();
-        lens.windows(2).all(|w| w[0] == w[1]) && self.log_digests.windows(2).all(|w| w[0] == w[1])
+        all_adjacent_equal(&self.total_log_lens()) && all_adjacent_equal(&self.log_digests)
     }
 
     /// Whether all replicas reached identical application state.
     pub fn states_consistent(&self) -> bool {
-        self.states.windows(2).all(|w| w[0] == w[1])
+        all_adjacent_equal(&self.states)
     }
 
     /// Replica 0's resident log, if all logs agree (the full agreed log
     /// when nothing was truncated).
     pub fn agreed_log(&self) -> Option<&[Entry<S::Op>]> {
-        self.logs_consistent().then(|| self.logs[0].as_slice())
+        if self.logs_consistent() {
+            self.logs.first().map(|l| l.as_slice())
+        } else {
+            None
+        }
     }
 }

@@ -238,6 +238,12 @@ impl KvStore {
     }
 }
 
+/// Cap on the key count a snapshot encoding may advertise, derived from
+/// the transport bound: two u64 length prefixes per entry mean at least
+/// 16 bytes each, so any count above `MAX_LEN / 16` cannot fit in a frame
+/// the transport would accept.
+pub const MAX_KV_ENTRIES: u32 = (probft_core::wire::MAX_LEN / 16) as u32;
+
 /// The store's checkpoint encoding: live keys in `BTreeMap` (ascending)
 /// order plus the applied counter. Deterministic, so every replica at the
 /// same log position produces the identical snapshot digest.
@@ -253,6 +259,12 @@ impl Wire for KvStore {
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let count = r.u32()?;
+        // Each entry costs at least 16 encoded bytes (two u64 length
+        // prefixes), so a count beyond MAX_KV_ENTRIES cannot fit in any
+        // frame the transport accepts: reject it before the decode loop.
+        if count > MAX_KV_ENTRIES {
+            return Err(WireError::LengthOverflow(u64::from(count)));
+        }
         let mut map = BTreeMap::new();
         for _ in 0..count {
             let key = decode_string(r, "utf-8 key")?;
@@ -423,6 +435,17 @@ mod tests {
         assert_eq!(restored, kv);
         assert_eq!(restored.applied(), 4);
         assert!(restored.restore(b"junk").is_err());
+
+        // The Wire impl itself roundtrips (restore is built on it).
+        assert_eq!(KvStore::from_wire_bytes(&kv.to_wire_bytes()).unwrap(), kv);
+        // A header advertising an impossible entry count is rejected
+        // before the decode loop runs.
+        let mut huge = Vec::new();
+        probft_core::wire::put::u32(&mut huge, u32::MAX);
+        assert!(matches!(
+            KvStore::from_wire_bytes(&huge),
+            Err(WireError::LengthOverflow(_))
+        ));
     }
 
     #[test]

@@ -479,6 +479,15 @@ mod tests {
     }
 
     #[test]
+    fn op_kind_round_trips() {
+        for kind in [OpKind::Write, OpKind::Read] {
+            let bytes = kind.to_wire_bytes();
+            assert_eq!(OpKind::from_wire_bytes(&bytes).unwrap(), kind);
+        }
+        assert!(OpKind::from_wire_bytes(&[7]).is_err());
+    }
+
+    #[test]
     fn default_query_leaves_state_untouched() {
         let mut kv = crate::kv::KvStore::new();
         kv.apply(&Command::Put {

@@ -780,26 +780,35 @@ impl<S: StateMachine> SmrNode<S> {
     fn apply_entry(&mut self, entry: Entry<S::Op>, slot: u64) {
         match entry.request {
             Some(request) => {
-                let fresh = !self.request_applied(request);
-                let response = if fresh {
-                    let response = match entry.kind {
-                        OpKind::Write => self.state.apply(&entry.op),
-                        OpKind::Read => self.state.query(&entry.op),
-                    };
-                    // `fresh` means the seq is above the watermark, so
-                    // this insert keeps the watermark monotone even if a
-                    // (misbehaving) client's sequence numbers get ordered
-                    // out of order.
-                    self.applied_requests
-                        .insert(request.client, (request.seq, response.clone()));
-                    response
-                } else {
-                    // A retry ordered twice: skip execution, answer from
-                    // the reply cache.
+                // A retry ordered twice skips execution and answers from
+                // the reply cache. A dedup hit with no cached response is
+                // impossible today (`request_applied` reads the same map),
+                // but every replica must make the same call if that
+                // invariant ever breaks — so degrade deterministically to
+                // executing the entry instead of aborting the replica.
+                let cached = if self.request_applied(request) {
                     self.applied_requests
                         .get(&request.client)
                         .map(|(_, response)| response.clone())
-                        .expect("dedup hit implies a cached response")
+                } else {
+                    None
+                };
+                let fresh = cached.is_none();
+                let response = match cached {
+                    Some(response) => response,
+                    None => {
+                        let response = match entry.kind {
+                            OpKind::Write => self.state.apply(&entry.op),
+                            OpKind::Read => self.state.query(&entry.op),
+                        };
+                        // `fresh` means the seq is above the watermark, so
+                        // this insert keeps the watermark monotone even if
+                        // a (misbehaving) client's sequence numbers get
+                        // ordered out of order.
+                        self.applied_requests
+                            .insert(request.client, (request.seq, response.clone()));
+                        response
+                    }
                 };
                 self.applied_events.push(AppliedRequest {
                     request,
@@ -1350,6 +1359,17 @@ mod tests {
             slot,
             inner: Message::Wish(wish),
         })
+    }
+
+    #[test]
+    fn slot_message_round_trips() {
+        let SmrMessage::Slot(msg) = slot_msg(b"node-tests", 42) else {
+            panic!("slot_msg builds a Slot variant");
+        };
+        let bytes = msg.to_wire_bytes();
+        assert_eq!(SlotMessage::from_wire_bytes(&bytes).unwrap(), msg);
+        // Truncated input degrades to an error, never a panic.
+        assert!(SlotMessage::from_wire_bytes(&bytes[..4]).is_err());
     }
 
     /// A Byzantine peer spraying far-future slot numbers must not grow

@@ -133,7 +133,7 @@ impl ProbftConfig {
     /// Panics on the sentinel view 0.
     pub fn leader_of(&self, view: View) -> ReplicaId {
         assert!(!view.is_none(), "view 0 has no leader");
-        ReplicaId::from(((view.0 - 1) % self.n as u64) as usize)
+        ReplicaId::from((view.0.saturating_sub(1) % self.n as u64) as usize)
     }
 
     /// Initial view timeout for the synchronizer.

@@ -525,7 +525,7 @@ impl Process for Replica {
         }
         if view > self.cur_view {
             // Buffer messages for imminent views; drop beyond the horizon.
-            if view.0 - self.cur_view.0 <= self.cfg.view_buffer_horizon() {
+            if view.0.saturating_sub(self.cur_view.0) <= self.cfg.view_buffer_horizon() {
                 self.future.entry(view).or_default().push(msg);
             } else {
                 self.stats.rejected += 1;

@@ -1,6 +1,13 @@
 // Deliberate L001 bait: the test scans this with a synthetic
-// crates/runtime/src/ path so the panic-free rule applies. Never compiled —
-// the fixtures directory is neither a cargo target nor part of the repo walk.
+// crates/runtime/src/ path. `serve` reads frames off a socket, which makes
+// `lookup` socket-reachable — the rule's scope is computed from the call
+// graph, not the directory. Never compiled — the fixtures directory is
+// neither a cargo target nor part of the repo walk.
+pub fn serve(stream: &mut std::net::TcpStream, values: &[u32]) {
+    let hint = read_frame(stream);
+    lookup(values, hint);
+}
+
 pub fn lookup(values: &[u32], hint: Option<usize>) -> u32 {
     let slot = hint.unwrap();
     let fallback = hint.expect("hint must be set");

@@ -1,0 +1,19 @@
+// Deliberate L007 bait: `state` and `journal` are acquired in opposite
+// orders on two paths, one of them through a callee — two threads running
+// these concurrently deadlock. The cycle is in the propagated lock graph,
+// not any single function body.
+pub fn apply_then_journal(state: &std::sync::Mutex<Vec<u8>>, journal: &std::sync::Mutex<Vec<u8>>) {
+    let snapshot = state.lock().unwrap();
+    append_journal(journal, &snapshot);
+}
+
+fn append_journal(journal: &std::sync::Mutex<Vec<u8>>, bytes: &[u8]) {
+    let mut entries = journal.lock().unwrap();
+    entries.extend_from_slice(bytes);
+}
+
+pub fn journal_then_apply(state: &std::sync::Mutex<Vec<u8>>, journal: &std::sync::Mutex<Vec<u8>>) {
+    let mut entries = journal.lock().unwrap();
+    let snapshot = state.lock().unwrap();
+    entries.extend_from_slice(&snapshot);
+}

@@ -1,0 +1,17 @@
+// Deliberate L009 bait: a socket-reachable handler swallows errors three
+// ways — `let _ =`, a dropped `.ok()`, and a bare ignored-Result call.
+// Each one converts a detectable fault into silent divergence.
+pub fn handle_frame(stream: &mut std::net::TcpStream) {
+    let frame = read_frame(stream);
+    let _ = record(frame);
+    persist(frame).ok();
+    record(frame);
+}
+
+fn record(frame: Frame) -> Result<(), Error> {
+    persist(frame)
+}
+
+fn persist(frame: Frame) -> Result<(), Error> {
+    disk(frame)
+}

@@ -1,0 +1,8 @@
+// Deliberate L010 bait: the pending queue grows on every submission with
+// no MAX_*-derived occupancy check at the push site — a client that
+// enqueues faster than the node drains exhausts replica memory.
+impl Node {
+    pub fn submit(&mut self, entry: Entry) {
+        self.pending.push_back(entry);
+    }
+}

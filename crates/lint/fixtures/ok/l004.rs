@@ -1,9 +1,25 @@
-// The lock-discipline shape L004 accepts: copy what you need out of the
-// guarded state in an inner block, then do socket I/O with no guard alive.
+// The lock-discipline shapes L004 accepts: copy what you need out of the
+// guarded state, end the guard's life, then do socket I/O unguarded.
 pub fn snapshot_then_send(state: &std::sync::Mutex<Vec<u8>>, stream: &mut std::net::TcpStream) {
     let frame = {
         let Ok(guard) = state.lock() else { return };
         guard.clone()
     };
     let _ = write_frame(stream, &frame);
+}
+
+// `drop(guard)` ends the guard's liveness exactly there; v1's region model
+// flagged this shape and needed an allowlist entry.
+pub fn drop_then_send(state: &std::sync::Mutex<Vec<u8>>, stream: &mut std::net::TcpStream) {
+    let guard = state.lock().unwrap();
+    let frame = guard.clone();
+    drop(guard);
+    let _ = write_frame(stream, &frame);
+}
+
+// A shadowing rebind of the binder likewise ends the guard's life.
+pub fn rebind_then_send(state: &std::sync::Mutex<Vec<u8>>, stream: &mut std::net::TcpStream) {
+    let held = state.lock().unwrap();
+    let held = held.clone();
+    let _ = write_frame(stream, &held);
 }

@@ -1,0 +1,20 @@
+// Consistent acquisition order on every path — `state` strictly before
+// `journal`, including through the callee — keeps the lock graph acyclic.
+pub fn apply_then_journal(state: &std::sync::Mutex<Vec<u8>>, journal: &std::sync::Mutex<Vec<u8>>) {
+    let snapshot = state.lock().unwrap();
+    append_journal(journal, &snapshot);
+}
+
+fn append_journal(journal: &std::sync::Mutex<Vec<u8>>, bytes: &[u8]) {
+    let mut entries = journal.lock().unwrap();
+    entries.extend_from_slice(bytes);
+}
+
+pub fn apply_then_journal_inline(
+    state: &std::sync::Mutex<Vec<u8>>,
+    journal: &std::sync::Mutex<Vec<u8>>,
+) {
+    let snapshot = state.lock().unwrap();
+    let mut entries = journal.lock().unwrap();
+    entries.extend_from_slice(&snapshot);
+}

@@ -1,0 +1,17 @@
+// Checked, saturating, and fallible-conversion forms of the same
+// operations, plus arithmetic on untracked values, all pass.
+pub fn advance(slot: u64) -> u64 {
+    slot.saturating_add(1)
+}
+
+pub fn previous(view: u64) -> u64 {
+    view.checked_sub(1).unwrap_or(0)
+}
+
+pub fn header(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or(u32::MAX)
+}
+
+pub fn untracked(weight: u64, bias: u64) -> u64 {
+    weight + bias
+}

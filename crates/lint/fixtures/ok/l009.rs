@@ -1,0 +1,23 @@
+// Errors on the socket path are propagated or inspected, never dropped;
+// and a function unreachable from any socket root may discard results —
+// reachability, not the directory, bounds the rule.
+pub fn handle_frame(stream: &mut std::net::TcpStream) -> Result<(), Error> {
+    let frame = read_frame(stream);
+    record(frame)?;
+    if persist(frame).is_err() {
+        count_failure();
+    }
+    Ok(())
+}
+
+fn record(frame: Frame) -> Result<(), Error> {
+    persist(frame)
+}
+
+fn persist(frame: Frame) -> Result<(), Error> {
+    disk(frame)
+}
+
+fn offline_cleanup() {
+    let _ = remove_scratch_file();
+}

@@ -1,0 +1,15 @@
+// The push sits behind a MAX_*-derived occupancy check; and a plain `Vec`
+// that is not queue-named is not a queue.
+impl Node {
+    pub fn submit(&mut self, entry: Entry) -> bool {
+        if self.pending.len() >= MAX_PENDING_ENTRIES {
+            return false;
+        }
+        self.pending.push_back(entry);
+        true
+    }
+
+    pub fn note(&mut self, line: Line) {
+        self.items.push(line);
+    }
+}

@@ -1,0 +1,166 @@
+//! The `lint-allow.toml` allowlist: per-site justifications for findings
+//! that are deliberate. The format is a strict subset of TOML —
+//! `[[allow]]` tables with `path`, `rule`, `pattern`, `reason` string keys
+//! — and anything else is a parse error: the allowlist is a security
+//! artifact and must not silently half-parse.
+
+use crate::Finding;
+
+/// One `[[allow]]` entry from `lint-allow.toml`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Repo-relative path the entry applies to.
+    pub path: String,
+    /// Rule identifier the entry suppresses.
+    pub rule: String,
+    /// Substring the flagged raw source line must contain. Matching on
+    /// content rather than line number keeps entries robust to line drift.
+    pub pattern: String,
+    /// Mandatory human justification; an empty reason is a parse error.
+    pub reason: String,
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// Result of filtering findings through an allowlist.
+#[derive(Clone, Debug)]
+pub struct Filtered {
+    /// Findings not matched by any entry — these fail the gate.
+    pub kept: Vec<Finding>,
+    /// Number of findings suppressed by allowlist entries.
+    pub suppressed: usize,
+    /// Indices (into `Allowlist::entries`) that matched nothing. Under
+    /// `--strict` these are hard errors so dead suppressions cannot
+    /// accumulate; otherwise they are warnings.
+    pub unused: Vec<usize>,
+}
+
+/// Parse `lint-allow.toml`.
+pub fn parse_allowlist(text: &str) -> Result<Allowlist, String> {
+    let mut entries = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(entry) = current.take() {
+                finish_entry(entry, &mut entries)?;
+            }
+            current = Some(AllowEntry {
+                path: String::new(),
+                rule: String::new(),
+                pattern: String::new(),
+                reason: String::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "lint-allow.toml:{lineno}: expected `key = \"value\"`"
+            ));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(format!(
+                "lint-allow.toml:{lineno}: key outside an [[allow]] table"
+            ));
+        };
+        let value = parse_toml_string(value.trim())
+            .ok_or_else(|| format!("lint-allow.toml:{lineno}: value must be a quoted string"))?;
+        match key.trim() {
+            "path" => entry.path = value,
+            "rule" => entry.rule = value,
+            "pattern" => entry.pattern = value,
+            "reason" => entry.reason = value,
+            other => {
+                return Err(format!("lint-allow.toml:{lineno}: unknown key `{other}`"));
+            }
+        }
+    }
+    if let Some(entry) = current.take() {
+        finish_entry(entry, &mut entries)?;
+    }
+    Ok(Allowlist { entries })
+}
+
+fn finish_entry(entry: AllowEntry, entries: &mut Vec<AllowEntry>) -> Result<(), String> {
+    if entry.path.is_empty() || entry.rule.is_empty() || entry.pattern.is_empty() {
+        return Err("lint-allow.toml: entry missing path/rule/pattern".to_string());
+    }
+    if entry.reason.trim().is_empty() {
+        return Err(format!(
+            "lint-allow.toml: entry for {}:{} has no reason — every allow needs a justification",
+            entry.path, entry.rule
+        ));
+    }
+    entries.push(entry);
+    Ok(())
+}
+
+fn parse_toml_string(value: &str) -> Option<String> {
+    let rest = value.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                // Only comments may trail the closing quote.
+                let tail = chars.as_str().trim();
+                if tail.is_empty() || tail.starts_with('#') {
+                    return Some(out);
+                }
+                return None;
+            }
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Filter `findings` through `allow`, reporting kept findings, the number
+/// suppressed, and entries that matched nothing.
+pub fn apply_allowlist(findings: Vec<Finding>, allow: &Allowlist) -> Filtered {
+    let mut used = vec![false; allow.entries.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for finding in findings {
+        let hit = allow.entries.iter().enumerate().find(|(_, e)| {
+            e.path == finding.file
+                && e.rule == finding.rule
+                && finding.line_text.contains(&e.pattern)
+        });
+        match hit {
+            Some((idx, _)) => {
+                if let Some(slot) = used.get_mut(idx) {
+                    *slot = true;
+                }
+                suppressed += 1;
+            }
+            None => kept.push(finding),
+        }
+    }
+    let unused = used
+        .iter()
+        .enumerate()
+        .filter_map(|(i, u)| if *u { None } else { Some(i) })
+        .collect();
+    Filtered {
+        kept,
+        suppressed,
+        unused,
+    }
+}

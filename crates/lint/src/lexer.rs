@@ -1,0 +1,577 @@
+//! A hand-rolled, dependency-free Rust lexer producing spanned tokens.
+//!
+//! The lexer is the foundation the v2 engine's structural rules stand on:
+//! where the v1 scanner matched substrings against masked text, the rules
+//! now walk real token streams, so "`+` in a trait bound" and "`+` on a
+//! slot counter" are distinguishable, and `Vec<Vec<u8>>` never turns into
+//! a shift-right.
+//!
+//! Design constraints, in order:
+//!
+//! - **Never panic, never reject.** Any byte sequence lexes to *some*
+//!   token stream; malformed source degrades to single-byte punct tokens.
+//!   The lint must keep scanning a tree that does not compile yet.
+//! - **Spans are byte-exact.** Every token carries `[start, end)` byte
+//!   offsets into the original text, so diagnostics map straight to
+//!   `file:line`.
+//! - **Angle brackets stay single.** `<` and `>` are always emitted as
+//!   one-character puncts — `>>` closing `Vec<Vec<u8>>` is two tokens, and
+//!   consumers that care about shifts reassemble them. This is the classic
+//!   lexer/parser split for Rust generics, resolved in the direction a
+//!   static analyzer needs.
+//! - **Masking falls out for free.** [`Lexed::masked`] is the original
+//!   text with comment bytes and literal *contents* blanked to spaces
+//!   (delimiters kept, newlines preserved), byte-for-byte the same length.
+//!   The v1 text rules and test-region carving run unchanged on it.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `slot`, `_`). Keywords are not
+    /// distinguished here; rules match on text.
+    Ident,
+    /// A lifetime like `'a` or `'static`.
+    Lifetime,
+    /// Integer or float literal, including suffix (`1_000u64`, `0xFF`).
+    Number,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'a'`.
+    Char,
+    /// Operator / punctuation. Compound operators (`::`, `->`, `+=`, `..`)
+    /// are single tokens; `<` and `>` are always single characters.
+    Punct,
+    /// `{`
+    OpenBrace,
+    /// `}`
+    CloseBrace,
+    /// `(`
+    OpenParen,
+    /// `)`
+    CloseParen,
+    /// `[`
+    OpenBracket,
+    /// `]`
+    CloseBracket,
+}
+
+/// One spanned token. Text is recovered from the source via the span, so
+/// tokens stay `Copy` and the stream stays cheap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the text the lexer consumed).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// The result of lexing one file: the token stream plus the masked text
+/// the legacy text rules and test-region carving operate on.
+#[derive(Clone, Debug)]
+pub struct Lexed {
+    /// All tokens, in source order. Comments and whitespace are not
+    /// tokens; their bytes appear only (blanked) in `masked`.
+    pub tokens: Vec<Token>,
+    /// Source with comments and literal contents blanked to spaces;
+    /// exactly the same byte length and newline positions as the input.
+    pub masked: String,
+}
+
+/// Compound operators emitted as single punct tokens, longest first so
+/// maximal munch is a plain prefix scan. `<<`/`>>`/`<=`-family stay out of
+/// the two-char list where they would collide with generics: `<` and `>`
+/// are only combined when an `=` makes the reading unambiguous (`<<=`,
+/// `>>=`, `<=`, `>=` cannot occur inside a type).
+const COMPOUND: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "|=", "&=", "..",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+/// Whether `b` can continue an identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Lex `text` into tokens and masked text. Total over all inputs: never
+/// panics, never errors, always consumes the whole input.
+pub fn lex(text: &str) -> Lexed {
+    let bytes = text.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also `///` and `//!`).
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                out[i] = b' ';
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nesting-aware.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth = depth.saturating_sub(1);
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if bytes[i] != b'\n' {
+                        out[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // String literals, including raw/byte prefixes.
+        if b == b'"' {
+            let end = mask_plain_string(bytes, &mut out, i);
+            tokens.push(Token {
+                kind: TokKind::Str,
+                start: i,
+                end,
+            });
+            i = end;
+            continue;
+        }
+        if (b == b'r' || b == b'b') && is_string_prefix(bytes, i) {
+            let end = mask_prefixed_string(bytes, &mut out, i);
+            tokens.push(Token {
+                kind: TokKind::Str,
+                start: i,
+                end,
+            });
+            i = end;
+            continue;
+        }
+        // Byte char literal `b'a'`.
+        if b == b'b' && bytes.get(i + 1) == Some(&b'\'') && !prev_is_ident(bytes, i) {
+            let end = mask_char(bytes, &mut out, i + 1);
+            tokens.push(Token {
+                kind: TokKind::Char,
+                start: i,
+                end,
+            });
+            i = end;
+            continue;
+        }
+        // Char literal or lifetime.
+        if b == b'\'' {
+            let (kind, end) = char_or_lifetime(bytes, &mut out, i);
+            tokens.push(Token {
+                kind,
+                start: i,
+                end,
+            });
+            i = end;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(b) {
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_byte(bytes[j]) {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokKind::Ident,
+                start: i,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        // Number literal (suffix included; `1..5` keeps the `..` intact).
+        if b.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < bytes.len() && (is_ident_byte(bytes[j])) {
+                j += 1;
+            }
+            // A fractional part: `.` followed by a digit (not `..`).
+            if bytes.get(j) == Some(&b'.') && bytes.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                j += 1;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+            }
+            tokens.push(Token {
+                kind: TokKind::Number,
+                start: i,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        // Brackets.
+        let kind = match b {
+            b'{' => Some(TokKind::OpenBrace),
+            b'}' => Some(TokKind::CloseBrace),
+            b'(' => Some(TokKind::OpenParen),
+            b')' => Some(TokKind::CloseParen),
+            b'[' => Some(TokKind::OpenBracket),
+            b']' => Some(TokKind::CloseBracket),
+            _ => None,
+        };
+        if let Some(kind) = kind {
+            tokens.push(Token {
+                kind,
+                start: i,
+                end: i + 1,
+            });
+            i += 1;
+            continue;
+        }
+        // Compound operators, longest match first.
+        let rest = &text[i..];
+        if let Some(op) = COMPOUND.iter().find(|op| rest.starts_with(**op)) {
+            tokens.push(Token {
+                kind: TokKind::Punct,
+                start: i,
+                end: i + op.len(),
+            });
+            i += op.len();
+            continue;
+        }
+        // Anything else: a single-byte punct (multi-byte UTF-8 leads
+        // consume the whole scalar so the stream stays char-aligned).
+        let len = utf8_len(b);
+        tokens.push(Token {
+            kind: TokKind::Punct,
+            start: i,
+            end: (i + len).min(bytes.len()),
+        });
+        i = (i + len).min(bytes.len());
+    }
+    // Masking only writes ASCII spaces over existing bytes, so the result
+    // is valid UTF-8 of identical length.
+    let masked = String::from_utf8(out).unwrap_or_default();
+    Lexed { tokens, masked }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(bytes[i - 1])
+}
+
+/// `r"`, `r#"`, `b"`, `br"`, `br#"` — but not the `r` in `for` or `bar`.
+fn is_string_prefix(bytes: &[u8], i: usize) -> bool {
+    if prev_is_ident(bytes, i) {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    j > i && bytes.get(j) == Some(&b'"')
+}
+
+/// Mask a plain `"…"` string starting at the opening quote; returns the
+/// offset one past the closing quote (or EOF on an unterminated literal).
+fn mask_plain_string(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return i + 1,
+            b'\\' => {
+                out[i] = b' ';
+                if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                    out[i + 1] = b' ';
+                }
+                i += 2;
+            }
+            b'\n' => i += 1,
+            _ => {
+                out[i] = b' ';
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Mask a raw/byte string (`r"…"`, `br#"…"#`, `b"…"`); returns the offset
+/// one past the closing delimiter.
+fn mask_prefixed_string(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
+    let mut i = start;
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if !raw {
+        return mask_plain_string(bytes, out, i);
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        if bytes[i] != b'\n' {
+            out[i] = b' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Mask a char literal starting at the opening `'`; returns one past the
+/// closing quote.
+fn mask_char(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+        let is_escape = bytes[i] == b'\\';
+        out[i] = b' ';
+        if is_escape && i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+            out[i + 1] = b' ';
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    (i + 1).min(bytes.len())
+}
+
+/// Disambiguate `'x'` (char) from `'a` (lifetime) at a `'`.
+fn char_or_lifetime(bytes: &[u8], out: &mut [u8], start: usize) -> (TokKind, usize) {
+    let Some(&next) = bytes.get(start + 1) else {
+        return (TokKind::Punct, start + 1);
+    };
+    if next == b'\\' {
+        // Escaped char literal: `'\n'`, `'\u{1F600}'`.
+        return (TokKind::Char, mask_char(bytes, out, start));
+    }
+    let len = utf8_len(next);
+    if bytes.get(start + 1 + len) == Some(&b'\'') {
+        // Exactly one scalar between quotes: a char literal.
+        for slot in out.iter_mut().take(start + 1 + len).skip(start + 1) {
+            *slot = b' ';
+        }
+        return (TokKind::Char, start + 2 + len);
+    }
+    if is_ident_start(next) {
+        // A lifetime: consume `'` plus the identifier.
+        let mut j = start + 1;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        return (TokKind::Lifetime, j);
+    }
+    (TokKind::Punct, start + 1)
+}
+
+/// Token index of the delimiter closing the opener at `open` (same-kind
+/// depth matched), or `None` if unbalanced.
+pub fn matching_token(tokens: &[Token], open: usize) -> Option<usize> {
+    let close_kind = match tokens.get(open)?.kind {
+        TokKind::OpenBrace => TokKind::CloseBrace,
+        TokKind::OpenParen => TokKind::CloseParen,
+        TokKind::OpenBracket => TokKind::CloseBracket,
+        _ => return None,
+    };
+    let open_kind = tokens[open].kind;
+    let mut depth = 0usize;
+    for (idx, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.kind == open_kind {
+            depth += 1;
+        } else if tok.kind == close_kind {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return Some(idx);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn nested_generics_close_as_two_angle_tokens_not_shr() {
+        let toks = kinds("let x: Vec<Vec<u8>> = Vec::new();");
+        let gt: Vec<_> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && t == ">")
+            .collect();
+        assert_eq!(gt.len(), 2, "`>>` must lex as two `>` puncts: {toks:?}");
+        assert!(
+            !toks.iter().any(|(_, t)| t == ">>"),
+            "no `>>` token may appear in a type: {toks:?}"
+        );
+    }
+
+    #[test]
+    fn shift_assign_stays_one_token() {
+        let toks = kinds("x <<= 1; y >>= 2;");
+        assert!(toks.iter().any(|(_, t)| t == "<<="));
+        assert!(toks.iter().any(|(_, t)| t == ">>="));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn char_literals_including_escapes_and_quotes() {
+        let toks = kinds(r"let c = 'x'; let q = '\''; let n = '\n'; let u = 'é';");
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(chars, 4, "{toks:?}");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_byte_strings() {
+        let src = r###"let a = r#"raw "quoted" content"#; let b = br"bytes"; let c = b"x";"###;
+        let toks = kinds(src);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(strs.len(), 3, "{toks:?}");
+        assert!(strs[0].starts_with("r#\"") && strs[0].ends_with("\"#"));
+        // Masked text blanks contents but keeps delimiters and length.
+        let lexed = lex(src);
+        assert_eq!(lexed.masked.len(), src.len());
+        assert!(!lexed.masked.contains("quoted"));
+    }
+
+    #[test]
+    fn raw_string_contents_never_produce_tokens() {
+        let src = "let s = r#\"fn fake() { panic!() }\"#;";
+        let toks = kinds(src);
+        assert!(
+            !toks.iter().any(|(_, t)| t == "panic" || t == "fake"),
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn comments_vanish_and_masking_preserves_layout() {
+        let src = "/* outer /* nested */ still */ fn f() {} // tail\nlet x = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.masked.len(), src.len());
+        assert_eq!(
+            lexed.masked.matches('\n').count(),
+            src.matches('\n').count()
+        );
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text(src)).collect();
+        assert_eq!(texts[..3], ["fn", "f", "("]);
+        assert!(!texts.contains(&"tail"));
+    }
+
+    #[test]
+    fn compound_operators_lex_whole() {
+        let toks = kinds("a += b; c..=d; e.. ; f -> g; h::i; j => k; l == m;");
+        for op in ["+=", "..=", "..", "->", "::", "=>", "=="] {
+            assert!(toks.iter().any(|(_, t)| t == op), "missing {op}: {toks:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_keep_suffixes_and_ranges_split() {
+        let toks = kinds("let a = 1_000u64; for i in 0..n {} let f = 1.5;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Number && t == "1_000u64"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == ".."));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Number && t == "1.5"));
+    }
+
+    #[test]
+    fn matching_token_pairs_braces() {
+        let src = "fn f() { if x { y() } else { z() } }";
+        let lexed = lex(src);
+        let open = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind == TokKind::OpenBrace)
+            .unwrap();
+        let close = matching_token(&lexed.tokens, open).unwrap();
+        assert_eq!(close, lexed.tokens.len() - 1);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["let s = \"unterminated", "let c = '", "let r = r#\"open"] {
+            let lexed = lex(src);
+            assert_eq!(lexed.masked.len(), src.len());
+        }
+    }
+}

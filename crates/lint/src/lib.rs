@@ -1,41 +1,60 @@
 //! # probft-lint
 //!
-//! A repo-specific static-analysis gate for the ProBFT workspace. The
-//! scanner is hand-rolled (line/token based, zero dependencies) and encodes
-//! the hazard classes that matter for a Byzantine-fault-tolerant runtime:
-//! a remote peer attacks the code we ship, so a single `unwrap()` on a
-//! malformed frame or an unbounded allocation driven by an attacker-supplied
-//! wire length is a remote panic/OOM that voids every probabilistic
-//! guarantee.
+//! A repo-specific static-analysis gate for the ProBFT workspace. v2 is a
+//! hand-rolled, dependency-free **Rust lexer + item/brace-tree parser**
+//! ([`lexer`], [`ast`]): spanned tokens, `fn`-item extraction, and an
+//! intra-workspace call graph. The graph gives the rules *reachability* —
+//! "a remote peer can drive this code" is now a computed set, not a
+//! directory prefix — and *structure*: guard liveness, lock-acquisition
+//! ordering, and `Result` flow.
 //!
 //! Rules:
 //!
 //! - **L001** — no `unwrap`/`expect`/`panic!`-family macros or
-//!   possibly-panicking index expressions in non-test code of
-//!   `crates/runtime` and `crates/smr`. Frame handling must degrade to
+//!   possibly-panicking index expressions in *socket-reachable* functions
+//!   of `crates/runtime` and `crates/smr`. Frame handling must degrade to
 //!   counted errors, never abort a replica.
 //! - **L002** — every allocation or decode loop sized from a wire-decoded
 //!   length must be capped by a `MAX_*`-derived bound before use.
 //! - **L003** — every `impl Wire for X` must have a matching roundtrip
-//!   test (`X::from_wire_bytes`/`X::decode`/`X::from_value` somewhere in
-//!   `tests/` or a `#[cfg(test)]` region).
-//! - **L004** — no `Mutex` guard acquired and then held across socket I/O
-//!   (`write_frame`/`read_frame`/`flush`) in the same block scope.
+//!   test.
+//! - **L004** — no `Mutex` guard *live* across socket I/O, direct or via
+//!   any callee; `drop(guard)` and shadowing rebinds end liveness.
 //! - **L005** — no raw `thread::sleep` in consensus crates outside the
 //!   `pacing` abstraction.
 //! - **L006** — no `unsafe` outside `vendor/`.
+//! - **L007** — the `crates/runtime` lock graph must be acyclic
+//!   (call-graph-propagated static deadlock detection).
+//! - **L008** — unchecked `+`/`*`/`-`/`as`-narrowing on slot-, view-,
+//!   length-, or sequence-typed values must use `checked_*`/`saturating_*`
+//!   or carry an allowlist reason.
+//! - **L009** — no swallowed errors (`let _ =`, dropped `.ok()`, ignored
+//!   `Result` calls) in socket-reachable or apply-path functions.
+//! - **L010** — every `VecDeque`/`Vec` used as a queue in `runtime`/`smr`
+//!   must enforce a `MAX_*`-derived cap at the push site.
 //!
 //! Diagnostics are stable `file:line: RULE message` lines (sorted by file,
-//! then line, then rule) so CI output is byte-for-byte reproducible. A
+//! then line, then rule) so CI output is byte-for-byte reproducible; SARIF
+//! and JSON renderings ([`output`]) are derived from the same findings. A
 //! checked-in `lint-allow.toml` carries per-site justifications; the binary
-//! exits nonzero on any unallowlisted finding.
+//! exits nonzero on any unallowlisted finding, and `--strict` turns stale
+//! allowlist entries into hard errors.
 
 #![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod ast;
+pub mod lexer;
+pub mod output;
+pub mod rules;
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+pub use allow::{apply_allowlist, parse_allowlist, AllowEntry, Allowlist, Filtered};
+pub use output::{render, render_json, render_sarif, Format};
 
 /// One source file presented to the scanner, with a repo-relative path
 /// (forward slashes) used both for rule scoping and for diagnostics.
@@ -54,7 +73,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier (`L001`..`L006`).
+    /// Rule identifier (`L001`..`L010`).
     pub rule: &'static str,
     /// Human-readable description, stable across runs.
     pub message: String,
@@ -73,956 +92,26 @@ impl fmt::Display for Finding {
     }
 }
 
-/// One `[[allow]]` entry from `lint-allow.toml`.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct AllowEntry {
-    /// Repo-relative path the entry applies to.
-    pub path: String,
-    /// Rule identifier the entry suppresses.
-    pub rule: String,
-    /// Substring the flagged raw source line must contain. Matching on
-    /// content rather than line number keeps entries robust to line drift.
-    pub pattern: String,
-    /// Mandatory human justification; an empty reason is a parse error.
-    pub reason: String,
-}
-
-/// The parsed allowlist.
-#[derive(Clone, Debug, Default)]
-pub struct Allowlist {
-    /// Entries in file order.
-    pub entries: Vec<AllowEntry>,
-}
-
-/// Result of filtering findings through an allowlist.
-#[derive(Clone, Debug)]
-pub struct Filtered {
-    /// Findings not matched by any entry — these fail the gate.
-    pub kept: Vec<Finding>,
-    /// Number of findings suppressed by allowlist entries.
-    pub suppressed: usize,
-    /// Indices (into `Allowlist::entries`) that matched nothing; surfaced
-    /// as warnings so stale justifications get cleaned up.
-    pub unused: Vec<usize>,
-}
-
-/// Parse `lint-allow.toml`. The format is a deliberate subset of TOML:
-/// `[[allow]]` tables with `path`, `rule`, `pattern`, `reason` string keys,
-/// `#` comments, and blank lines. Anything else is an error — the allowlist
-/// is a security artifact and must not silently half-parse.
-pub fn parse_allowlist(text: &str) -> Result<Allowlist, String> {
-    let mut entries = Vec::new();
-    let mut current: Option<AllowEntry> = None;
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        let lineno = idx + 1;
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if line == "[[allow]]" {
-            if let Some(entry) = current.take() {
-                finish_entry(entry, &mut entries)?;
-            }
-            current = Some(AllowEntry {
-                path: String::new(),
-                rule: String::new(),
-                pattern: String::new(),
-                reason: String::new(),
-            });
-            continue;
-        }
-        let Some((key, value)) = line.split_once('=') else {
-            return Err(format!(
-                "lint-allow.toml:{lineno}: expected `key = \"value\"`"
-            ));
-        };
-        let Some(entry) = current.as_mut() else {
-            return Err(format!(
-                "lint-allow.toml:{lineno}: key outside an [[allow]] table"
-            ));
-        };
-        let value = parse_toml_string(value.trim())
-            .ok_or_else(|| format!("lint-allow.toml:{lineno}: value must be a quoted string"))?;
-        match key.trim() {
-            "path" => entry.path = value,
-            "rule" => entry.rule = value,
-            "pattern" => entry.pattern = value,
-            "reason" => entry.reason = value,
-            other => {
-                return Err(format!("lint-allow.toml:{lineno}: unknown key `{other}`"));
-            }
-        }
-    }
-    if let Some(entry) = current.take() {
-        finish_entry(entry, &mut entries)?;
-    }
-    Ok(Allowlist { entries })
-}
-
-fn finish_entry(entry: AllowEntry, entries: &mut Vec<AllowEntry>) -> Result<(), String> {
-    if entry.path.is_empty() || entry.rule.is_empty() || entry.pattern.is_empty() {
-        return Err("lint-allow.toml: entry missing path/rule/pattern".to_string());
-    }
-    if entry.reason.trim().is_empty() {
-        return Err(format!(
-            "lint-allow.toml: entry for {}:{} has no reason — every allow needs a justification",
-            entry.path, entry.rule
-        ));
-    }
-    entries.push(entry);
-    Ok(())
-}
-
-fn parse_toml_string(value: &str) -> Option<String> {
-    let rest = value.strip_prefix('"')?;
-    let mut out = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => {
-                // Only comments may trail the closing quote.
-                let tail = chars.as_str().trim();
-                if tail.is_empty() || tail.starts_with('#') {
-                    return Some(out);
-                }
-                return None;
-            }
-            '\\' => match chars.next()? {
-                '"' => out.push('"'),
-                '\\' => out.push('\\'),
-                'n' => out.push('\n'),
-                't' => out.push('\t'),
-                _ => return None,
-            },
-            c => out.push(c),
-        }
-    }
-    None
-}
-
-/// Filter `findings` through `allow`, reporting kept findings, the number
-/// suppressed, and entries that matched nothing.
-pub fn apply_allowlist(findings: Vec<Finding>, allow: &Allowlist) -> Filtered {
-    let mut used = vec![false; allow.entries.len()];
-    let mut kept = Vec::new();
-    let mut suppressed = 0usize;
-    for finding in findings {
-        let hit = allow.entries.iter().enumerate().find(|(_, e)| {
-            e.path == finding.file
-                && e.rule == finding.rule
-                && finding.line_text.contains(&e.pattern)
-        });
-        match hit {
-            Some((idx, _)) => {
-                if let Some(slot) = used.get_mut(idx) {
-                    *slot = true;
-                }
-                suppressed += 1;
-            }
-            None => kept.push(finding),
-        }
-    }
-    let unused = used
-        .iter()
-        .enumerate()
-        .filter_map(|(i, u)| if *u { None } else { Some(i) })
-        .collect();
-    Filtered {
-        kept,
-        suppressed,
-        unused,
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Source masking: comments and string/char-literal contents become spaces so
-// token scans never fire inside prose. Line structure and byte offsets are
-// preserved exactly.
-// ---------------------------------------------------------------------------
-
 /// Replace comment text and string/char-literal contents with spaces,
-/// preserving newlines and byte offsets. Handles line comments (`//`, `///`,
-/// `//!`), nested block comments, string/byte-string/raw-string literals,
-/// and char literals (distinguished from lifetimes by lookahead).
+/// preserving newlines and byte offsets. Kept as a public entry point for
+/// tests and tools; internally this is a byproduct of [`lexer::lex`].
 pub fn mask_code(text: &str) -> String {
-    let bytes = text.as_bytes();
-    let mut out = bytes.to_vec();
-    let mut i = 0usize;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    out[i] = b' ';
-                    i += 1;
-                }
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                let mut depth = 0usize;
-                while i < bytes.len() {
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        out[i] = b' ';
-                        out[i + 1] = b' ';
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        out[i] = b' ';
-                        out[i + 1] = b' ';
-                        i += 2;
-                        if depth == 0 {
-                            break;
-                        }
-                    } else {
-                        if bytes[i] != b'\n' {
-                            out[i] = b' ';
-                        }
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => i = mask_string(bytes, &mut out, i),
-            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
-                i = mask_prefixed_string(bytes, &mut out, i);
-            }
-            b'\'' => i = mask_char_or_lifetime(bytes, &mut out, i),
-            _ => i += 1,
-        }
-    }
-    // Masking only writes ASCII spaces over existing bytes; multi-byte
-    // sequences are either left intact or fully overwritten, so the result
-    // is valid UTF-8.
-    String::from_utf8(out).unwrap_or_default()
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
-    // `r"`, `r#"`, `b"`, `br"`, `br#"` — but not the `r` inside `for` or an
-    // identifier like `bar`.
-    if i > 0 && is_ident_byte(bytes[i - 1]) {
-        return false;
-    }
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-    }
-    if bytes.get(j) == Some(&b'r') {
-        j += 1;
-        while bytes.get(j) == Some(&b'#') {
-            j += 1;
-        }
-    }
-    j > i && bytes.get(j) == Some(&b'"')
-}
-
-fn mask_string(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
-    // Plain "..." with escapes. Keep the quotes, mask the contents.
-    let mut i = start + 1;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'"' => return i + 1,
-            b'\\' => {
-                out[i] = b' ';
-                if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
-                    out[i + 1] = b' ';
-                }
-                i += 2;
-            }
-            b'\n' => i += 1,
-            _ => {
-                out[i] = b' ';
-                i += 1;
-            }
-        }
-    }
-    i
-}
-
-fn mask_prefixed_string(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
-    let mut i = start;
-    let mut raw = false;
-    if bytes[i] == b'b' {
-        i += 1;
-    }
-    if bytes.get(i) == Some(&b'r') {
-        raw = true;
-        i += 1;
-    }
-    let mut hashes = 0usize;
-    while bytes.get(i) == Some(&b'#') {
-        hashes += 1;
-        i += 1;
-    }
-    debug_assert_eq!(bytes.get(i), Some(&b'"'));
-    if !raw {
-        return mask_string(bytes, out, i);
-    }
-    i += 1;
-    while i < bytes.len() {
-        if bytes[i] == b'"' {
-            let mut k = 0usize;
-            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
-                k += 1;
-            }
-            if k == hashes {
-                return i + 1 + hashes;
-            }
-        }
-        if bytes[i] != b'\n' {
-            out[i] = b' ';
-        }
-        i += 1;
-    }
-    i
-}
-
-fn utf8_len(lead: u8) -> usize {
-    match lead {
-        b if b < 0x80 => 1,
-        b if b >= 0xF0 => 4,
-        b if b >= 0xE0 => 3,
-        _ => 2,
-    }
-}
-
-fn mask_char_or_lifetime(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
-    let Some(&next) = bytes.get(start + 1) else {
-        return start + 1;
-    };
-    if next == b'\\' {
-        // Escaped char literal: mask to the closing quote.
-        let mut i = start + 1;
-        while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
-            out[i] = b' ';
-            i += 1;
-        }
-        return i + 1;
-    }
-    let len = utf8_len(next);
-    if bytes.get(start + 1 + len) == Some(&b'\'') {
-        // Exactly one char between quotes: a char literal, not a lifetime.
-        for slot in out.iter_mut().take(start + 1 + len).skip(start + 1) {
-            *slot = b' ';
-        }
-        return start + 2 + len;
-    }
-    // A lifetime like `'a` — leave it alone.
-    start + 1
-}
-
-// ---------------------------------------------------------------------------
-// Test-region detection: `#[cfg(test)] mod`, `#[test] fn`, and whole files
-// under `tests/` are exempt from the production-path rules.
-// ---------------------------------------------------------------------------
-
-/// Byte ranges of masked `text` covered by test-only code.
-pub fn test_regions(masked: &str, path: &str) -> Vec<(usize, usize)> {
-    if is_test_file(path) {
-        return vec![(0, masked.len())];
-    }
-    let bytes = masked.as_bytes();
-    let mut regions = Vec::new();
-    let mut i = 0usize;
-    while i < bytes.len() {
-        if bytes[i] != b'#' || bytes.get(i + 1) != Some(&b'[') {
-            i += 1;
-            continue;
-        }
-        let Some(attr_end) = matching(bytes, i + 1, b'[', b']') else {
-            break;
-        };
-        let attr = &masked[i + 2..attr_end];
-        let is_test_attr =
-            attr.trim() == "test" || (attr.contains("cfg") && contains_word(attr, "test"));
-        if !is_test_attr {
-            i = attr_end + 1;
-            continue;
-        }
-        // Skip whitespace and any further attributes, then look for the
-        // item the attribute gates.
-        let mut j = attr_end + 1;
-        loop {
-            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-                j += 1;
-            }
-            if bytes.get(j) == Some(&b'#') && bytes.get(j + 1) == Some(&b'[') {
-                match matching(bytes, j + 1, b'[', b']') {
-                    Some(end) => j = end + 1,
-                    None => break,
-                }
-            } else {
-                break;
-            }
-        }
-        let rest = &masked[j.min(masked.len())..];
-        let gated = rest.trim_start_matches("pub").trim_start();
-        let gated = gated.strip_prefix("(crate)").unwrap_or(gated).trim_start();
-        if gated.starts_with("mod ") || gated.starts_with("fn ") || gated.starts_with("async fn ") {
-            if let Some(open_rel) = rest.find('{') {
-                let open = j + open_rel;
-                let close = matching(bytes, open, b'{', b'}').unwrap_or(bytes.len() - 1);
-                regions.push((i, close + 1));
-                i = close + 1;
-                continue;
-            }
-        }
-        i = attr_end + 1;
-    }
-    regions
-}
-
-fn is_test_file(path: &str) -> bool {
-    path.starts_with("tests/") || path.contains("/tests/")
-}
-
-fn contains_word(haystack: &str, word: &str) -> bool {
-    let bytes = haystack.as_bytes();
-    let mut from = 0usize;
-    while let Some(rel) = haystack[from..].find(word) {
-        let at = from + rel;
-        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
-        let after = at + word.len();
-        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
-        if before_ok && after_ok {
-            return true;
-        }
-        from = at + 1;
-    }
-    false
-}
-
-/// Index of the delimiter closing the one at `open` (depth-matched), on
-/// masked text so literals can't unbalance it.
-fn matching(bytes: &[u8], open: usize, opener: u8, closer: u8) -> Option<usize> {
-    let mut depth = 0usize;
-    let mut i = open;
-    while i < bytes.len() {
-        if bytes[i] == opener {
-            depth += 1;
-        } else if bytes[i] == closer {
-            depth -= 1;
-            if depth == 0 {
-                return Some(i);
-            }
-        }
-        i += 1;
-    }
-    None
-}
-
-fn in_regions(regions: &[(usize, usize)], pos: usize) -> bool {
-    regions.iter().any(|&(a, b)| pos >= a && pos < b)
-}
-
-fn line_of(offsets: &[usize], pos: usize) -> usize {
-    match offsets.binary_search(&pos) {
-        Ok(idx) => idx + 1,
-        Err(idx) => idx,
-    }
-}
-
-fn line_starts(text: &str) -> Vec<usize> {
-    let mut starts = vec![0usize];
-    for (i, b) in text.bytes().enumerate() {
-        if b == b'\n' {
-            starts.push(i + 1);
-        }
-    }
-    starts
-}
-
-fn raw_line(text: &str, starts: &[usize], line: usize) -> String {
-    let begin = starts.get(line - 1).copied().unwrap_or(0);
-    let end = starts.get(line).map_or(text.len(), |e| e.saturating_sub(1));
-    text.get(begin..end).unwrap_or("").trim_end().to_string()
-}
-
-// ---------------------------------------------------------------------------
-// The scanner proper.
-// ---------------------------------------------------------------------------
-
-struct FileCtx<'a> {
-    path: &'a str,
-    raw: &'a str,
-    masked: String,
-    starts: Vec<usize>,
-    tests: Vec<(usize, usize)>,
-}
-
-impl<'a> FileCtx<'a> {
-    fn new(file: &'a SourceFile) -> Self {
-        let masked = mask_code(&file.text);
-        let tests = test_regions(&masked, &file.path);
-        let starts = line_starts(&file.text);
-        FileCtx {
-            path: &file.path,
-            raw: &file.text,
-            masked,
-            starts,
-            tests,
-        }
-    }
-
-    fn finding(&self, pos: usize, rule: &'static str, message: String) -> Finding {
-        let line = line_of(&self.starts, pos);
-        Finding {
-            file: self.path.to_string(),
-            line,
-            rule,
-            message,
-            line_text: raw_line(self.raw, &self.starts, line),
-        }
-    }
-
-    /// Byte offsets of every non-test occurrence of `needle` in the masked
-    /// text.
-    fn occurrences(&self, needle: &str) -> Vec<usize> {
-        let mut hits = Vec::new();
-        let mut from = 0usize;
-        while let Some(rel) = self.masked[from..].find(needle) {
-            let at = from + rel;
-            if !in_regions(&self.tests, at) {
-                hits.push(at);
-            }
-            from = at + needle.len();
-        }
-        hits
-    }
+    lexer::lex(text).masked
 }
 
 /// Scan a set of sources (path → text) and return all findings, sorted.
 /// This is the engine entry point the fixture tests drive with synthetic
 /// paths; [`scan_repo`] feeds it the real tree.
 pub fn scan_sources(files: &[SourceFile]) -> Vec<Finding> {
-    let ctxs: Vec<FileCtx<'_>> = files.iter().map(FileCtx::new).collect();
-    let mut findings = Vec::new();
-    for ctx in &ctxs {
-        rule_l001(ctx, &mut findings);
-        rule_l002(ctx, &mut findings);
-        rule_l004(ctx, &mut findings);
-        rule_l005(ctx, &mut findings);
-        rule_l006(ctx, &mut findings);
-    }
-    rule_l003(&ctxs, &mut findings);
+    let ctxs: Vec<ast::FileCtx> = files
+        .iter()
+        .map(|f| ast::FileCtx::new(&f.path, &f.text))
+        .collect();
+    let graph = ast::Graph::build(&ctxs);
+    let mut findings = rules::run(&ctxs, &graph);
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     findings
-}
-
-// --- L001 ------------------------------------------------------------------
-
-const L001_CRATES: &[&str] = &["crates/runtime/src/", "crates/smr/src/"];
-const L001_CALLS: &[&str] = &[".unwrap()", ".expect("];
-const L001_MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
-
-fn rule_l001(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if !L001_CRATES.iter().any(|p| ctx.path.starts_with(p)) {
-        return;
-    }
-    for tok in L001_CALLS {
-        for pos in ctx.occurrences(tok) {
-            out.push(ctx.finding(
-                pos,
-                "L001",
-                format!(
-                    "panicking call `{}` in non-test consensus code",
-                    tok.trim_end_matches('(')
-                ),
-            ));
-        }
-    }
-    for tok in L001_MACROS {
-        for pos in ctx.occurrences(tok) {
-            // `debug_assert!`-style prefixes and idents like `dont_panic`
-            // must not match: require a non-ident char before the token.
-            let bytes = ctx.masked.as_bytes();
-            if pos > 0 && is_ident_byte(bytes[pos - 1]) {
-                continue;
-            }
-            out.push(ctx.finding(
-                pos,
-                "L001",
-                format!("panicking macro `{tok}` in non-test consensus code"),
-            ));
-        }
-    }
-    // Index expressions: `expr[...]` can panic. A `[` counts as indexing
-    // when the previous non-space byte is an identifier char, `)`, or `]` —
-    // which excludes array literals, attributes (`#[`), and macros (`vec![`).
-    let bytes = ctx.masked.as_bytes();
-    for pos in ctx.occurrences("[") {
-        let Some(prev) = pos.checked_sub(1).map(|i| bytes[i]) else {
-            continue;
-        };
-        if !(is_ident_byte(prev) || prev == b')' || prev == b']') {
-            continue;
-        }
-        out.push(ctx.finding(
-            pos,
-            "L001",
-            "possibly-panicking index expression in non-test consensus code".to_string(),
-        ));
-    }
-}
-
-// --- L002 ------------------------------------------------------------------
-
-fn rule_l002(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if ctx.path.starts_with("vendor/") {
-        return;
-    }
-    for body in decode_fn_bodies(ctx) {
-        let text = &ctx.masked[body.0..body.1];
-        scan_alloc_sites(ctx, body.0, text, out);
-    }
-}
-
-/// Function bodies that decode wire input: named `decode`/`read_frame`, or
-/// whose body touches `len_prefix(` (the length-reading primitive).
-fn decode_fn_bodies(ctx: &FileCtx<'_>) -> Vec<(usize, usize)> {
-    let mut bodies = Vec::new();
-    for (start, name, body) in fn_items(ctx) {
-        if in_regions(&ctx.tests, start) {
-            continue;
-        }
-        let text = &ctx.masked[body.0..body.1];
-        if name == "decode" || name == "read_frame" || text.contains("len_prefix(") {
-            bodies.push(body);
-        }
-    }
-    bodies
-}
-
-/// `(fn_keyword_offset, name, (body_open, body_close+1))` for every `fn`
-/// with a body in the masked text.
-fn fn_items(ctx: &FileCtx<'_>) -> Vec<(usize, String, (usize, usize))> {
-    let bytes = ctx.masked.as_bytes();
-    let mut items = Vec::new();
-    let mut from = 0usize;
-    while let Some(rel) = ctx.masked[from..].find("fn ") {
-        let at = from + rel;
-        from = at + 3;
-        if at > 0 && is_ident_byte(bytes[at - 1]) {
-            continue;
-        }
-        let mut j = at + 3;
-        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-            j += 1;
-        }
-        let name_start = j;
-        while j < bytes.len() && is_ident_byte(bytes[j]) {
-            j += 1;
-        }
-        let name = ctx.masked[name_start..j].to_string();
-        // First `{` or `;` after the signature decides body vs declaration.
-        let mut k = j;
-        let open = loop {
-            match bytes.get(k) {
-                Some(b'{') => break Some(k),
-                Some(b';') => break None,
-                Some(_) => k += 1,
-                None => break None,
-            }
-        };
-        let Some(open) = open else { continue };
-        let close = matching(bytes, open, b'{', b'}').unwrap_or(bytes.len() - 1);
-        items.push((at, name, (open, close + 1)));
-    }
-    items
-}
-
-fn scan_alloc_sites(ctx: &FileCtx<'_>, base: usize, body: &str, out: &mut Vec<Finding>) {
-    let sites = [("with_capacity(", b'(', b')'), ("vec![", b'[', b']')];
-    for (tok, open_b, close_b) in sites {
-        let mut from = 0usize;
-        while let Some(rel) = body[from..].find(tok) {
-            let at = from + rel;
-            from = at + tok.len();
-            let open = at + tok.len() - 1;
-            let Some(close) = matching(body.as_bytes(), open, open_b, close_b) else {
-                continue;
-            };
-            let arg = &body[open + 1..close];
-            // `vec![elem; n]` — only the repeat count is attacker-relevant.
-            let size_expr = match arg.rsplit_once(';') {
-                Some((_, n)) if tok == "vec![" => n,
-                _ if tok == "vec![" => continue,
-                _ => arg,
-            };
-            if is_literal_size(size_expr) {
-                continue;
-            }
-            if has_cap_guard(&body[..at], size_expr) {
-                continue;
-            }
-            out.push(ctx.finding(
-                base + at,
-                "L002",
-                "wire-length-driven allocation without a MAX_*-derived cap before use".to_string(),
-            ));
-        }
-    }
-    // Decode loops `for _ in 0..n { map.insert(..) }` do bounded-per-item
-    // work but unbounded total work when `n` is attacker-supplied.
-    let mut from = 0usize;
-    while let Some(rel) = body[from..].find("0..") {
-        let at = from + rel;
-        from = at + 3;
-        let line_end = body[at..].find('\n').map_or(body.len(), |e| at + e);
-        let bound = body[at + 3..line_end]
-            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
-            .next()
-            .unwrap_or("");
-        let prefix = &body[..at];
-        let is_for = prefix.trim_end().ends_with("in");
-        if !is_for || is_literal_size(bound) {
-            continue;
-        }
-        if has_cap_guard(prefix, bound) {
-            continue;
-        }
-        out.push(ctx.finding(
-            base + at,
-            "L002",
-            "wire-length-driven decode loop without a MAX_*-derived cap before use".to_string(),
-        ));
-    }
-}
-
-fn is_literal_size(expr: &str) -> bool {
-    let e = expr.trim();
-    !e.is_empty()
-        && e.chars()
-            .all(|c| c.is_ascii_digit() || c == '_' || c.is_ascii_whitespace())
-}
-
-/// A cap guard is an inline `.min(` on the size expression, an earlier
-/// comparison against a `MAX`-named bound in the same body, or an earlier
-/// `.min(`-capped allocation (the `with_capacity(n.min(LIMIT))` idiom, where
-/// reader exhaustion then bounds the decode loop's total work).
-fn has_cap_guard(prefix: &str, size_expr: &str) -> bool {
-    if size_expr.contains(".min(") || prefix.contains(".min(") {
-        return true;
-    }
-    prefix
-        .lines()
-        .any(|l| l.contains("MAX") && (l.contains('>') || l.contains('<')))
-}
-
-// --- L003 ------------------------------------------------------------------
-
-fn rule_l003(ctxs: &[FileCtx<'_>], out: &mut Vec<Finding>) {
-    // Corpus: all test-region text plus whole `tests/` files (masked, so a
-    // mention in a comment doesn't count as coverage).
-    let mut corpus = String::new();
-    for ctx in ctxs {
-        for &(a, b) in &ctx.tests {
-            corpus.push_str(&ctx.masked[a..b]);
-            corpus.push('\n');
-        }
-    }
-    for ctx in ctxs {
-        // Shipped code only: examples are demo material and have no test
-        // targets of their own.
-        if !ctx.path.starts_with("crates/") {
-            continue;
-        }
-        for (pos, name) in wire_impls(ctx) {
-            if in_regions(&ctx.tests, pos) {
-                continue;
-            }
-            if has_roundtrip(&corpus, &name) {
-                continue;
-            }
-            out.push(ctx.finding(
-                pos,
-                "L003",
-                format!(
-                    "impl Wire for `{name}` has no roundtrip test (expected `{name}::from_wire_bytes` or `{name}::decode` in tests)"
-                ),
-            ));
-        }
-    }
-}
-
-fn wire_impls(ctx: &FileCtx<'_>) -> Vec<(usize, String)> {
-    let bytes = ctx.masked.as_bytes();
-    let mut impls = Vec::new();
-    let mut from = 0usize;
-    while let Some(rel) = ctx.masked[from..].find("impl") {
-        let at = from + rel;
-        from = at + 4;
-        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
-        let after_ok = bytes.get(at + 4).is_none_or(|b| !is_ident_byte(*b));
-        if !before_ok || !after_ok {
-            continue;
-        }
-        let mut j = at + 4;
-        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-            j += 1;
-        }
-        if bytes.get(j) == Some(&b'<') {
-            let Some(close) = matching(bytes, j, b'<', b'>') else {
-                continue;
-            };
-            j = close + 1;
-            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-                j += 1;
-            }
-        }
-        let trait_start = j;
-        while j < bytes.len() && (is_ident_byte(bytes[j]) || bytes[j] == b':') {
-            j += 1;
-        }
-        let trait_path = &ctx.masked[trait_start..j];
-        if trait_path != "Wire" && !trait_path.ends_with("::Wire") {
-            continue;
-        }
-        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-            j += 1;
-        }
-        if !ctx.masked[j..].starts_with("for") {
-            continue;
-        }
-        j += 3;
-        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-            j += 1;
-        }
-        let ty_start = j;
-        while j < bytes.len() && (is_ident_byte(bytes[j]) || bytes[j] == b':') {
-            j += 1;
-        }
-        let ty_path = &ctx.masked[ty_start..j];
-        let name = ty_path.rsplit("::").next().unwrap_or(ty_path);
-        if !name.is_empty() {
-            impls.push((at, name.to_string()));
-        }
-    }
-    impls
-}
-
-fn has_roundtrip(corpus: &str, name: &str) -> bool {
-    for method in ["from_wire_bytes", "decode", "from_value"] {
-        if corpus.contains(&format!("{name}::{method}")) {
-            return true;
-        }
-    }
-    // Turbofish: `Name::<Args>::from_wire_bytes(..)`.
-    let probe = format!("{name}::<");
-    let mut from = 0usize;
-    while let Some(rel) = corpus[from..].find(&probe) {
-        let at = from + rel;
-        from = at + probe.len();
-        let open = at + probe.len() - 1;
-        let Some(close) = matching(corpus.as_bytes(), open, b'<', b'>') else {
-            continue;
-        };
-        let rest = &corpus[close + 1..];
-        if ["::from_wire_bytes", "::decode", "::from_value"]
-            .iter()
-            .any(|m| rest.starts_with(m))
-        {
-            return true;
-        }
-    }
-    false
-}
-
-// --- L004 ------------------------------------------------------------------
-
-const L004_IO: &[&str] = &[
-    "write_frame(",
-    "read_frame(",
-    ".flush(",
-    ".write_all(",
-    ".read_exact(",
-];
-
-fn rule_l004(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if ctx.path.starts_with("vendor/") {
-        return;
-    }
-    let bytes = ctx.masked.as_bytes();
-    for pos in ctx.occurrences(".lock()") {
-        // Scan forward to the end of the enclosing block: any socket I/O
-        // before the block closes runs while the guard can still be live.
-        let mut depth = 0isize;
-        let mut i = pos + ".lock()".len();
-        let mut io_hit = false;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth < 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            if L004_IO.iter().any(|tok| ctx.masked[i..].starts_with(tok)) {
-                io_hit = true;
-                break;
-            }
-            i += 1;
-        }
-        if io_hit {
-            out.push(ctx.finding(
-                pos,
-                "L004",
-                "mutex guard acquired here is still in scope across socket I/O".to_string(),
-            ));
-        }
-    }
-}
-
-// --- L005 ------------------------------------------------------------------
-
-const L005_CRATES: &[&str] = &[
-    "crates/core/src/",
-    "crates/hotstuff/src/",
-    "crates/pbft/src/",
-    "crates/quorum/src/",
-    "crates/runtime/src/",
-    "crates/smr/src/",
-];
-
-fn rule_l005(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if !L005_CRATES.iter().any(|p| ctx.path.starts_with(p)) {
-        return;
-    }
-    if ctx.path.ends_with("/pacing.rs") {
-        // The one sanctioned home for real sleeps.
-        return;
-    }
-    for pos in ctx.occurrences("thread::sleep") {
-        out.push(ctx.finding(
-            pos,
-            "L005",
-            "raw thread::sleep in consensus code; route waits through runtime::pacing".to_string(),
-        ));
-    }
-}
-
-// --- L006 ------------------------------------------------------------------
-
-fn rule_l006(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if ctx.path.starts_with("vendor/") {
-        return;
-    }
-    let bytes = ctx.masked.as_bytes();
-    let mut from = 0usize;
-    while let Some(rel) = ctx.masked[from..].find("unsafe") {
-        let at = from + rel;
-        from = at + 6;
-        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
-        let after_ok = bytes.get(at + 6).is_none_or(|b| !is_ident_byte(*b));
-        if before_ok && after_ok {
-            out.push(ctx.finding(at, "L006", "unsafe code outside vendor/".to_string()));
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1073,15 +162,4 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
 pub fn scan_repo(root: &Path) -> io::Result<Vec<Finding>> {
     let files = collect_sources(root)?;
     Ok(scan_sources(&files))
-}
-
-/// Render findings exactly as the binary prints them — one
-/// `file:line: RULE message` per line. Byte-stable across runs.
-pub fn render(findings: &[Finding]) -> String {
-    let mut out = String::new();
-    for f in findings {
-        out.push_str(&f.to_string());
-        out.push('\n');
-    }
-    out
 }

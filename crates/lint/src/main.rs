@@ -8,16 +8,25 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use probft_lint::{apply_allowlist, parse_allowlist, render, scan_repo, Allowlist};
+use probft_lint::{
+    apply_allowlist, parse_allowlist, render, render_json, render_sarif, scan_repo, Allowlist,
+    Format,
+};
 
-const USAGE: &str = "usage: probft-lint [--root DIR] [--allow FILE]
+const USAGE: &str =
+    "usage: probft-lint [--root DIR] [--allow FILE] [--format text|json|sarif] [--strict]
 
-Scans the workspace for violations of the repo lint rules (L001-L006) and
-exits nonzero on any finding not justified in lint-allow.toml.";
+Scans the workspace for violations of the repo lint rules (L001-L010) and
+exits nonzero on any finding not justified in lint-allow.toml.
+
+  --format FMT   output findings as text (default), json, or sarif
+  --strict       stale allowlist entries are hard errors, not warnings";
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut allow_path: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut strict = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,6 +38,11 @@ fn main() -> ExitCode {
                 Some(file) => allow_path = Some(PathBuf::from(file)),
                 None => return usage_error("--allow needs a file"),
             },
+            "--format" => match args.next().as_deref().and_then(Format::parse) {
+                Some(fmt) => format = fmt,
+                None => return usage_error("--format needs one of: text, json, sarif"),
+            },
+            "--strict" => strict = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -59,29 +73,47 @@ fn main() -> ExitCode {
     };
 
     let filtered = apply_allowlist(findings, &allow);
+    let mut stale = false;
     for idx in &filtered.unused {
         if let Some(entry) = allow.entries.get(*idx) {
+            let level = if strict { "error" } else { "warning" };
             eprintln!(
-                "warning: unused allow entry ({} {} pattern {:?}) — remove it or fix the pattern",
+                "{level}: unused allow entry ({} {} pattern {:?}) — remove it or fix the pattern",
                 entry.path, entry.rule, entry.pattern
+            );
+            stale = true;
+        }
+    }
+
+    match format {
+        Format::Text => print!("{}", render(&filtered.kept)),
+        Format::Json => print!("{}", render_json(&filtered.kept)),
+        Format::Sarif => print!("{}", render_sarif(&filtered.kept)),
+    }
+
+    let clean = filtered.kept.is_empty() && !(strict && stale);
+    if format == Format::Text {
+        if filtered.kept.is_empty() {
+            println!(
+                "probft-lint: clean ({} finding(s) justified in {})",
+                filtered.suppressed,
+                allow_path.display()
+            );
+        } else {
+            println!(
+                "probft-lint: {} violation(s) ({} suppressed); fix them or justify each in {}",
+                filtered.kept.len(),
+                filtered.suppressed,
+                allow_path.display()
             );
         }
     }
-    print!("{}", render(&filtered.kept));
-    if filtered.kept.is_empty() {
-        println!(
-            "probft-lint: clean ({} finding(s) justified in {})",
-            filtered.suppressed,
-            allow_path.display()
-        );
+    if strict && stale {
+        eprintln!("probft-lint: stale allowlist entries are errors under --strict");
+    }
+    if clean {
         ExitCode::SUCCESS
     } else {
-        println!(
-            "probft-lint: {} violation(s) ({} suppressed); fix them or justify each in {}",
-            filtered.kept.len(),
-            filtered.suppressed,
-            allow_path.display()
-        );
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,215 @@
+//! Diagnostic rendering: stable text lines, machine-readable JSON, and
+//! SARIF 2.1.0 for CI diff annotation. All three are hand-rolled (the
+//! crate is dependency-free by design) and byte-stable across runs: the
+//! same findings always serialize to the same bytes, so goldens can pin
+//! them.
+
+use crate::Finding;
+
+/// Output format selected on the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Format {
+    /// One `file:line: RULE message` per line (the default).
+    #[default]
+    Text,
+    /// A JSON array of finding objects.
+    Json,
+    /// A SARIF 2.1.0 log, one run, one result per finding.
+    Sarif,
+}
+
+impl Format {
+    /// Parse a `--format` argument.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "sarif" => Some(Format::Sarif),
+            _ => None,
+        }
+    }
+}
+
+/// Rule metadata surfaced in SARIF output: short description plus the
+/// consensus failure mode the rule exists to prevent.
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "L001",
+        "No panicking constructs on socket-reachable consensus paths",
+        "A remote peer controls the bytes these paths parse; one reachable unwrap is a remote replica abort.",
+    ),
+    (
+        "L002",
+        "Wire-length-driven allocations must be capped",
+        "An attacker-supplied length drives the allocation; without a MAX_*-derived cap it is a remote OOM.",
+    ),
+    (
+        "L003",
+        "Every Wire impl needs a decode-side roundtrip test",
+        "An asymmetric codec desynchronizes replicas on the wire, which is indistinguishable from equivocation.",
+    ),
+    (
+        "L004",
+        "No mutex guard held across socket I/O",
+        "A peer that stalls mid-frame while the guard is held wedges every thread contending that lock.",
+    ),
+    (
+        "L005",
+        "No raw thread::sleep in consensus crates outside runtime::pacing",
+        "Unaccounted sleeps hide in latency measurements and stall shutdown quiescence.",
+    ),
+    (
+        "L006",
+        "No unsafe outside vendor/",
+        "The probabilistic guarantees assume memory safety; one unsafe block voids the audit boundary.",
+    ),
+    (
+        "L007",
+        "The runtime lock graph must be acyclic",
+        "Two lock classes acquired in opposite orders deadlock honest replicas, and a Byzantine peer can steer the schedule toward the interleaving.",
+    ),
+    (
+        "L008",
+        "Slot/view/length/sequence arithmetic must be overflow-checked",
+        "A forged far-future slot or length delta wraps unchecked arithmetic, turning bounds checks inside out.",
+    ),
+    (
+        "L009",
+        "No silently swallowed errors on consensus paths",
+        "A dropped Result on a socket or apply path converts a detectable fault into silent divergence.",
+    ),
+    (
+        "L010",
+        "Internal queues must be bounded at the push site",
+        "An uncapped pending queue is a memory-exhaustion lever for any client or peer that can enqueue.",
+    ),
+];
+
+/// Render findings exactly as the binary prints them — one
+/// `file:line: RULE message` per line. Byte-stable across runs.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Escape `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON array (pretty-printed, stable key order).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            json_escape(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Render findings as a SARIF 2.1.0 log. GitHub's SARIF ingestion turns
+/// each result into an inline annotation on the PR diff at
+/// `file:startLine`.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"probft-lint\",\n");
+    out.push_str("          \"informationUri\": \"crates/lint/README.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, short, full)) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \"fullDescription\": {{\"text\": \"{}\"}}, \"defaultConfiguration\": {{\"level\": \"error\"}}}}{}\n",
+            id,
+            json_escape(short),
+            json_escape(full),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            f.rule,
+            json_escape(&f.message),
+            json_escape(&f.file),
+            f.line,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            rule: "L008",
+            message: "unchecked `+` on \"slot\" value".into(),
+            line_text: "slot + 1".into(),
+        }]
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_is_an_array() {
+        let json = render_json(&sample());
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.contains("\\\"slot\\\""));
+        assert!(json.contains("\"line\": 3"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_result_location() {
+        let sarif = render_sarif(&sample());
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"probft-lint\""));
+        for (id, _, _) in RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{id}\"")), "missing {id}");
+        }
+        assert!(sarif.contains("\"startLine\": 3"));
+        assert!(sarif.contains("\"uri\": \"crates/x/src/a.rs\""));
+    }
+
+    #[test]
+    fn empty_findings_serialize_to_valid_documents() {
+        assert_eq!(render_json(&[]), "[\n]\n");
+        let sarif = render_sarif(&[]);
+        assert!(sarif.contains("\"results\": [\n      ]"));
+    }
+}

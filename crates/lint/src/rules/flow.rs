@@ -1,0 +1,276 @@
+//! L009 — no silently swallowed errors on consensus paths.
+//!
+//! A dropped `Result` on a socket or apply path converts a detectable
+//! fault into silent divergence: the replica keeps running with state the
+//! rest of the cluster no longer shares. In socket-reachable and
+//! apply-path functions of `crates/{runtime,smr}`, the rule flags the
+//! three swallow shapes:
+//!
+//! - `let _ = …;` — discarded without inspection
+//! - `….ok();` — converted to `Option` and immediately dropped
+//! - a bare `f(…);` statement where every function `f` can resolve to
+//!   returns `Result`
+//!
+//! Deliberate best-effort sites (a reply write to a client that already
+//! disconnected) carry allowlist reasons; the reason is the point.
+
+use crate::ast::{closure_forward, FileCtx, Graph};
+use crate::lexer::{TokKind, Token};
+use crate::rules::{finding, in_scope};
+use crate::Finding;
+
+const L009_SCOPE: &[&str] = &["crates/runtime/src/", "crates/smr/src/"];
+
+pub fn l009(ctxs: &[FileCtx], graph: &Graph, out: &mut Vec<Finding>) {
+    // Apply-path seed: functions named after state application, plus
+    // everything they call.
+    let n = graph.nodes.len();
+    let mut seed = vec![false; n];
+    for (node, &(fi, gi)) in graph.nodes.iter().enumerate() {
+        if ctxs[fi].fns[gi].name.contains("apply") {
+            seed[node] = true;
+        }
+    }
+    let apply_reach = closure_forward(&graph.edges, &seed);
+    for (node, &(fi, gi)) in graph.nodes.iter().enumerate() {
+        let ctx = &ctxs[fi];
+        if !in_scope(&ctx.path, L009_SCOPE) {
+            continue;
+        }
+        if !(graph.socket_reachable[node] || apply_reach[node]) {
+            continue;
+        }
+        scan_fn(ctx, gi, graph, out);
+    }
+}
+
+fn scan_fn(ctx: &FileCtx, gi: usize, graph: &Graph, out: &mut Vec<Finding>) {
+    let f = &ctx.fns[gi];
+    let Some((open, close)) = f.body else { return };
+    let src = &ctx.raw;
+    let toks = &ctx.lexed.tokens;
+    for idx in open + 1..close {
+        let t = toks[idx];
+        // `let _ = …`
+        if t.kind == TokKind::Ident
+            && t.text(src) == "let"
+            && toks
+                .get(idx + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && n.text(src) == "_")
+            && toks
+                .get(idx + 2)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text(src) == "=")
+        {
+            out.push(finding(
+                ctx,
+                t.start,
+                "L009",
+                "error silently discarded with `let _ =` on a consensus path".to_string(),
+            ));
+            continue;
+        }
+        // `….ok();`
+        if t.kind == TokKind::Punct
+            && t.text(src) == "."
+            && toks
+                .get(idx + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && n.text(src) == "ok")
+            && toks.get(idx + 2).map(|n| n.kind) == Some(TokKind::OpenParen)
+            && toks.get(idx + 3).map(|n| n.kind) == Some(TokKind::CloseParen)
+            && toks
+                .get(idx + 4)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text(src) == ";")
+        {
+            out.push(finding(
+                ctx,
+                t.start,
+                "L009",
+                "Result dropped with `.ok()` and never checked on a consensus path".to_string(),
+            ));
+            continue;
+        }
+        // Bare `f(…);` statement where `f` returns Result.
+        if t.kind == TokKind::Punct && t.text(src) == ";" && idx > open + 1 {
+            if let Some(name) = bare_result_call(src, toks, idx, open, f.impl_ty.as_deref(), graph)
+            {
+                let pos = toks[idx].start;
+                out.push(finding(
+                    ctx,
+                    pos,
+                    "L009",
+                    format!("call to `{name}` returns Result but the result is ignored"),
+                ));
+            }
+        }
+    }
+}
+
+/// If the statement ending at the `;` at `semi` is a bare call whose every
+/// resolution returns `Result`, return the callee name.
+fn bare_result_call(
+    src: &str,
+    toks: &[Token],
+    semi: usize,
+    body_open: usize,
+    impl_ty: Option<&str>,
+    graph: &Graph,
+) -> Option<String> {
+    // The statement must end `…)(;`.
+    let last = semi.checked_sub(1)?;
+    if toks[last].kind != TokKind::CloseParen {
+        return None;
+    }
+    // Matching `(` of the outermost call.
+    let mut depth = 0usize;
+    let mut k = last;
+    loop {
+        match toks[k].kind {
+            TokKind::CloseParen => depth += 1,
+            TokKind::OpenParen => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k = k.checked_sub(1)?;
+    }
+    let callee = k.checked_sub(1)?;
+    if toks[callee].kind != TokKind::Ident || callee <= body_open {
+        return None;
+    }
+    let name = toks[callee].text(src);
+    // Classify the call shape from what precedes the callee.
+    let kind = match callee
+        .checked_sub(1)
+        .map(|p| (toks[p].kind, toks[p].text(src)))
+    {
+        Some((TokKind::Punct, ".")) => crate::ast::CallKind::Method,
+        Some((TokKind::Punct, "::")) => {
+            let qual = callee
+                .checked_sub(2)
+                .map(|q| toks[q])
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text(src).to_string());
+            match qual {
+                Some(q) => crate::ast::CallKind::Qualified(q),
+                None => crate::ast::CallKind::Method,
+            }
+        }
+        _ => crate::ast::CallKind::Free,
+    };
+    // Walk back over the receiver chain to the statement boundary; anything
+    // other than `;`/`{`/`}` there means the value is consumed (assigned,
+    // returned, `?`-propagated, part of a larger expression).
+    let mut b = callee;
+    while let Some(p) = b.checked_sub(1) {
+        if p <= body_open {
+            b = p;
+            break;
+        }
+        let pt = toks[p];
+        let chain = match pt.kind {
+            TokKind::Ident | TokKind::Number => true,
+            TokKind::Punct => matches!(pt.text(src), "." | "::"),
+            _ => false,
+        };
+        if !chain {
+            break;
+        }
+        b = p;
+    }
+    let boundary = b.checked_sub(1).map(|p| toks[p]);
+    let bare = match boundary {
+        None => true,
+        Some(t) => match t.kind {
+            TokKind::OpenBrace | TokKind::CloseBrace => true,
+            TokKind::Punct => t.text(src) == ";",
+            _ => false,
+        },
+    };
+    if !bare {
+        return None;
+    }
+    let call = crate::ast::CallSite {
+        name: name.to_string(),
+        kind,
+        tok: callee,
+    };
+    let resolved = graph.resolve(&call, impl_ty);
+    if resolved.is_empty() {
+        return None;
+    }
+    let all_result = resolved.iter().all(|&node| graph.returns_result[node]);
+    all_result.then(|| name.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Graph;
+
+    fn scan(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("crates/runtime/src/x.rs", src);
+        let graph = Graph::build(std::slice::from_ref(&ctx));
+        let mut out = Vec::new();
+        l009(std::slice::from_ref(&ctx), &graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn let_underscore_on_socket_path_is_flagged() {
+        let out = scan(
+            "fn serve(s: &mut TcpStream) { let f = read_frame(s); let _ = record(f); }\n\
+             fn record(f: Frame) -> Result<(), Error> { store(f) }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("let _ ="));
+    }
+
+    #[test]
+    fn ok_dropped_on_socket_path_is_flagged() {
+        let out = scan("fn serve(s: &mut TcpStream) { read_frame(s).ok(); }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains(".ok()"));
+    }
+
+    #[test]
+    fn bare_result_call_is_flagged() {
+        let out = scan(
+            "fn serve(s: &mut TcpStream) { let f = read_frame(s); record(f); }\n\
+             fn record(f: Frame) -> Result<(), Error> { store(f) }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`record`"));
+    }
+
+    #[test]
+    fn propagated_and_checked_results_are_clean() {
+        let out = scan(
+            "fn serve(s: &mut TcpStream) -> Result<(), Error> {\n\
+             let f = read_frame(s);\n\
+             record(f)?;\n\
+             if record(f).is_err() { count(); }\n\
+             Ok(())\n\
+             }\n\
+             fn record(f: Frame) -> Result<(), Error> { store(f) }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unreachable_fns_are_out_of_scope() {
+        let out = scan("fn offline() { let _ = compute(); }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn apply_path_is_in_scope_without_sockets() {
+        let out = scan(
+            "fn apply_committed(e: Entry) { let _ = persist(e); }\n\
+             fn persist(e: Entry) -> Result<(), Error> { disk(e) }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+}

@@ -1,0 +1,120 @@
+//! L010 — internal queues must be bounded at the push site.
+//!
+//! L002 caps what the *decoder* allocates; this rule caps what the
+//! *runtime* accumulates. A `VecDeque`/`Vec` used as a queue (receiver
+//! named `pending`, `backlog`, `inbox`, or `*queue*`) in `runtime`/`smr`
+//! is a memory-exhaustion lever for any client or peer that can enqueue
+//! faster than the replica drains, so every push must sit behind a
+//! `MAX_*`-derived occupancy check in the same function — shedding or
+//! rejecting, not growing.
+
+use crate::ast::FileCtx;
+use crate::lexer::TokKind;
+use crate::rules::{finding, in_scope};
+use crate::Finding;
+
+const L010_SCOPE: &[&str] = &["crates/runtime/src/", "crates/smr/src/"];
+
+/// Receiver names that make a `push`/`push_back` a queue insertion.
+const QUEUE_NAMES: &[&str] = &["pending", "backlog", "inbox"];
+
+fn is_queue_name(name: &str) -> bool {
+    QUEUE_NAMES.contains(&name) || name.contains("queue")
+}
+
+pub fn l010(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_scope(&ctx.path, L010_SCOPE) {
+        return;
+    }
+    let src = &ctx.raw;
+    let toks = &ctx.lexed.tokens;
+    for f in &ctx.fns {
+        if f.is_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        for idx in open + 1..close {
+            let t = toks[idx];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let name = t.text(src);
+            if name != "push_back" && name != "push" {
+                continue;
+            }
+            let is_method = idx
+                .checked_sub(1)
+                .is_some_and(|p| toks[p].kind == TokKind::Punct && toks[p].text(src) == ".");
+            if !is_method || toks.get(idx + 1).map(|n| n.kind) != Some(TokKind::OpenParen) {
+                continue;
+            }
+            // Receiver: the identifier before the dot.
+            let Some(recv) = idx
+                .checked_sub(2)
+                .map(|p| toks[p])
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text(src))
+            else {
+                continue;
+            };
+            if !is_queue_name(recv) {
+                continue;
+            }
+            // Guarded when a MAX_*-derived bound is consulted earlier in
+            // the same body (an occupancy check, `truncate(MAX…)`, …).
+            let guarded = toks[open + 1..idx]
+                .iter()
+                .any(|g| g.kind == TokKind::Ident && g.text(src).contains("MAX"));
+            if guarded {
+                continue;
+            }
+            out.push(finding(
+                ctx,
+                t.start,
+                "L010",
+                format!(
+                    "queue `{recv}` grows without a MAX_*-derived cap enforced at the push site"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("crates/smr/src/x.rs", src);
+        let mut out = Vec::new();
+        l010(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn uncapped_queue_push_is_flagged() {
+        let out = scan("fn submit(&mut self, v: V) { self.pending.push_back(v); }");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`pending`"));
+    }
+
+    #[test]
+    fn capped_push_is_clean() {
+        let out = scan(
+            "fn submit(&mut self, v: V) -> bool {\n\
+             if self.pending.len() >= MAX_PENDING_ENTRIES { return false; }\n\
+             self.pending.push_back(v);\n\
+             true\n\
+             }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn non_queue_vectors_are_ignored() {
+        let out = scan("fn add(&mut self, v: V) { self.items.push(v); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

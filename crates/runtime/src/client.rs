@@ -239,7 +239,7 @@ impl<S: StateMachine> SmrClient<S> {
             client: self.client_id,
             seq: self.next_seq,
         };
-        self.next_seq += 1;
+        self.next_seq = self.next_seq.saturating_add(1);
         request
     }
 

@@ -529,7 +529,7 @@ pub struct ReplicaReport<S: StateMachine = KvStore> {
 impl<S: StateMachine> ReplicaReport<S> {
     /// Total entries the replica applied: truncated plus resident.
     pub fn total_log_len(&self) -> u64 {
-        self.log_offset + self.log.len() as u64
+        self.log_offset.saturating_add(self.log.len() as u64)
     }
 }
 
@@ -1512,7 +1512,7 @@ fn apply_smr_actions<S: StateMachine>(
                             .map(|Reverse((at, ..))| *at)
                             .max()
                             .map_or(Instant::now() + by, |tail| tail.max(Instant::now() + by));
-                        delayed.seq += 1;
+                        delayed.seq = delayed.seq.saturating_add(1);
                         delayed
                             .heap
                             .push(Reverse((at, delayed.seq, to.index(), frame)));

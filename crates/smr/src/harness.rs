@@ -233,7 +233,7 @@ impl<S: StateMachine> SmrOutcome<S> {
         self.logs
             .iter()
             .zip(&self.log_offsets)
-            .map(|(log, offset)| offset + log.len() as u64)
+            .map(|(log, offset)| offset.saturating_add(log.len() as u64))
             .collect()
     }
 

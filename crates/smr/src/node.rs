@@ -249,6 +249,13 @@ pub const MAX_TRACKED_CHECKPOINT_SLOTS: usize = 64;
 /// unstable snapshot is discarded (it can be rebuilt from newer ones).
 const MAX_PENDING_CHECKPOINTS: usize = 4;
 
+/// Hard ceiling on the locally pending (submitted but unproposed) entry
+/// queue, enforced at the push site. Admission control
+/// ([`SmrNode::overloaded`] against the configurable
+/// `SmrSettings::max_pending`) is the *caller's* shedding policy and can
+/// be disabled; this cap is the node's own memory bound and cannot.
+pub const MAX_PENDING_ENTRIES: usize = 65_536;
+
 /// A locally produced checkpoint awaiting a stability quorum.
 struct OwnCheckpoint {
     digest: Digest,
@@ -430,7 +437,7 @@ impl<S: StateMachine> SmrNode<S> {
 
     /// Total entries ever applied: truncated plus resident.
     pub fn total_log_len(&self) -> u64 {
-        self.log_offset + self.log.len() as u64
+        self.log_offset.saturating_add(self.log.len() as u64)
     }
 
     /// Running digest chain over every entry ever applied. Equal
@@ -571,6 +578,12 @@ impl<S: StateMachine> SmrNode<S> {
     /// for each accepted client request (writes *and* linearizable
     /// reads).
     pub fn submit(&mut self, entry: Entry<S::Op>, ctx: &mut Context<'_, SmrMessage>) {
+        // An embedding runtime that skips the `overloaded()` admission
+        // check must still not grow this queue without bound.
+        if self.pending.len() >= MAX_PENDING_ENTRIES {
+            self.dropped_messages += 1;
+            return;
+        }
         self.pending.push_back(entry);
         self.open_ready_slots(ctx);
     }
@@ -589,7 +602,7 @@ impl<S: StateMachine> SmrNode<S> {
             return false;
         }
         let slot = self.next_open;
-        self.next_open += 1;
+        self.next_open = self.next_open.saturating_add(1);
         self.open_slot(slot, ctx);
         true
     }
@@ -626,10 +639,12 @@ impl<S: StateMachine> SmrNode<S> {
             // `next_apply + depth - next_open + 1` (floored at 1: the
             // lazy open-on-peer-traffic path can open a slot the local
             // window would not have).
-            let window_left = (self.next_apply + self.settings.pipeline_depth as u64)
-                .saturating_sub(self.next_open)
-                .saturating_add(1)
-                .max(1) as usize;
+            let window_left = (self
+                .next_apply
+                .saturating_add(self.settings.pipeline_depth as u64))
+            .saturating_sub(self.next_open)
+            .saturating_add(1)
+            .max(1) as usize;
             pending.div_ceil(window_left).min(MAX_BATCH as usize)
         } else {
             self.settings.batch_size
@@ -645,13 +660,16 @@ impl<S: StateMachine> SmrNode<S> {
     /// instead open slots on demand when traffic for them arrives.
     fn open_ready_slots(&mut self, ctx: &mut Context<'_, SmrMessage>) {
         while self.total_log_len() < self.settings.target_len as u64
-            && self.next_open < self.next_apply + self.settings.pipeline_depth as u64
+            && self.next_open
+                < self
+                    .next_apply
+                    .saturating_add(self.settings.pipeline_depth as u64)
         {
             if self.settings.lazy_open && self.pending.is_empty() {
                 break;
             }
             let slot = self.next_open;
-            self.next_open += 1;
+            self.next_open = self.next_open.saturating_add(1);
             self.open_slot(slot, ctx);
         }
     }
@@ -759,7 +777,7 @@ impl<S: StateMachine> SmrNode<S> {
             // The slot is applied: free its replica and message state.
             // Only the log, machine state, and checkpoints outlive a slot.
             self.slots.remove(&slot);
-            self.next_apply += 1;
+            self.next_apply = self.next_apply.saturating_add(1);
             self.maybe_take_checkpoint(ctx);
             self.open_ready_slots(ctx);
         }
@@ -947,7 +965,10 @@ impl<S: StateMachine> SmrNode<S> {
         };
         if slot <= self.next_apply {
             self.adopt_stable(slot, digest);
-        } else if slot > self.next_apply + self.settings.pipeline_depth as u64
+        } else if slot
+            > self
+                .next_apply
+                .saturating_add(self.settings.pipeline_depth as u64)
             && self.transfer_wanted != Some((slot, digest))
         {
             // Beyond anything in-flight consensus can still decide for
@@ -1002,7 +1023,7 @@ impl<S: StateMachine> SmrNode<S> {
             .unwrap_or(0)
             .min(self.log.len());
         self.log.drain(..drop);
-        self.log_offset += drop as u64;
+        self.log_offset = self.log_offset.saturating_add(drop as u64);
         self.ckpt_stats.truncated_entries += drop as u64;
         self.ckpt_stats.stable_slot = slot;
         // The quorum of signed votes is the checkpoint's certificate:
@@ -1117,7 +1138,11 @@ impl<S: StateMachine> SmrNode<S> {
         // pipeline window. A replayed-but-genuine reply for an in-window
         // slot must not wipe live in-flight consensus state — those
         // slots' traffic was already consumed and peers never retransmit.
-        if rep.slot <= self.next_apply + self.settings.pipeline_depth as u64 {
+        if rep.slot
+            <= self
+                .next_apply
+                .saturating_add(self.settings.pipeline_depth as u64)
+        {
             return;
         }
         let digest = Snapshot::<S>::digest(&rep.snapshot);
@@ -1250,7 +1275,9 @@ impl<S: StateMachine> SmrNode<S> {
             self.dropped_messages += 1;
             return;
         }
-        let open_horizon = self.next_apply + self.settings.pipeline_depth as u64;
+        let open_horizon = self
+            .next_apply
+            .saturating_add(self.settings.pipeline_depth as u64);
         if self.settings.lazy_open
             && slot < open_horizon
             && self.total_log_len() < self.settings.target_len as u64
@@ -1260,7 +1287,7 @@ impl<S: StateMachine> SmrNode<S> {
             // whatever is pending locally, or an empty batch) and deliver.
             while self.next_open <= slot {
                 let open = self.next_open;
-                self.next_open += 1;
+                self.next_open = self.next_open.saturating_add(1);
                 self.open_slot(open, ctx);
             }
             self.dispatch(slot, Some(from), DispatchEvent::Message(msg.inner), ctx);

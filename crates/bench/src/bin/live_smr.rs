@@ -27,10 +27,13 @@
 //! so CI can archive throughput numbers as a build artifact.
 
 use probft_bench::print_row;
-use probft_runtime::{LiveSmrBuilder, SmrClient};
+use probft_obs::{MetricsSnapshot, Obs};
+use probft_runtime::nemesis::{execute, Fault, FaultPlan};
+use probft_runtime::{LiveSmrBuilder, ReplicaReport, SmrClient};
 use probft_smr::{Command, Consistency, KvStore};
+use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct GridPoint {
     n: usize,
@@ -110,6 +113,46 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Commit/RTT/recovery percentiles for one row, pulled from the cluster's
+/// aggregated probft-obs snapshot (commit, recovery) and the shared
+/// client-side bundle (RTT). All values are microseconds.
+#[derive(Default)]
+struct RowLatency {
+    commit_p50_us: u64,
+    commit_p99_us: u64,
+    commit_p999_us: u64,
+    rtt_p50_us: u64,
+    rtt_p99_us: u64,
+    rtt_p999_us: u64,
+    recovery_samples: u64,
+    recovery_p50_us: u64,
+    recovery_max_us: u64,
+}
+
+impl RowLatency {
+    /// Extracts the percentile set from the merged replica metrics plus
+    /// the client bundle's RTT histogram.
+    fn from_metrics(cluster: &MetricsSnapshot, clients: &MetricsSnapshot) -> Self {
+        let mut lat = RowLatency::default();
+        if let Some(h) = cluster.histogram("commit_latency_us") {
+            lat.commit_p50_us = h.p50();
+            lat.commit_p99_us = h.p99();
+            lat.commit_p999_us = h.p999();
+        }
+        if let Some(h) = clients.histogram("request_rtt_us") {
+            lat.rtt_p50_us = h.p50();
+            lat.rtt_p99_us = h.p99();
+            lat.rtt_p999_us = h.p999();
+        }
+        if let Some(h) = cluster.histogram("recovery_latency_us") {
+            lat.recovery_samples = h.count();
+            lat.recovery_p50_us = h.p50();
+            lat.recovery_max_us = h.max();
+        }
+        lat
+    }
+}
+
 /// One grid-point × workload result, mirrored into the `--json` report.
 struct RowReport {
     n: usize,
@@ -123,6 +166,7 @@ struct RowReport {
     retries: u64,
     resident_log: usize,
     total_log_len: u64,
+    latency: RowLatency,
 }
 
 impl RowReport {
@@ -130,7 +174,10 @@ impl RowReport {
         format!(
             "{{\"n\":{},\"clients\":{},\"batch\":{},\"workload\":{:?},\"ops\":{},\
              \"wall_ms\":{:.1},\"ops_per_sec\":{:.1},\"redirects\":{},\"retries\":{},\
-             \"resident_log\":{},\"total_log_len\":{}}}",
+             \"resident_log\":{},\"total_log_len\":{},\
+             \"commit_p50_us\":{},\"commit_p99_us\":{},\"commit_p999_us\":{},\
+             \"rtt_p50_us\":{},\"rtt_p99_us\":{},\"rtt_p999_us\":{},\
+             \"recovery_samples\":{},\"recovery_p50_us\":{},\"recovery_max_us\":{}}}",
             self.n,
             self.clients,
             self.batch,
@@ -142,6 +189,15 @@ impl RowReport {
             self.retries,
             self.resident_log,
             self.total_log_len,
+            self.latency.commit_p50_us,
+            self.latency.commit_p99_us,
+            self.latency.commit_p999_us,
+            self.latency.rtt_p50_us,
+            self.latency.rtt_p99_us,
+            self.latency.rtt_p999_us,
+            self.latency.recovery_samples,
+            self.latency.recovery_p50_us,
+            self.latency.recovery_max_us,
         )
     }
 }
@@ -242,8 +298,57 @@ fn main() {
     let mut rows = Vec::new();
     for point in &grid {
         for mix in &mixes {
-            rows.push(run_row(point, *mix, checkpoint_interval));
+            rows.push(run_row(point, *mix, checkpoint_interval, false));
         }
+    }
+    if smoke {
+        // The recovery row: kill the leader mid-stream and report the
+        // outage window (fault injection → next committed slot) straight
+        // from the survivors' `recovery_latency_us` histograms.
+        rows.push(run_row(
+            &GridPoint {
+                n: 7,
+                clients: 2,
+                per_client: 12,
+                batch: 4,
+            },
+            Mix::WritesOnly,
+            checkpoint_interval,
+            true,
+        ));
+    }
+
+    println!("\nLatency percentiles (µs, from probft-obs histograms):");
+    print_row(
+        "workload",
+        &[
+            "commit p50".into(),
+            "commit p99".into(),
+            "commit p999".into(),
+            "rtt p50".into(),
+            "rtt p99".into(),
+            "recovery p50".into(),
+            "samples".into(),
+        ],
+    );
+    for row in &rows {
+        let lat = &row.latency;
+        print_row(
+            &row.workload,
+            &[
+                lat.commit_p50_us.to_string(),
+                lat.commit_p99_us.to_string(),
+                lat.commit_p999_us.to_string(),
+                lat.rtt_p50_us.to_string(),
+                lat.rtt_p99_us.to_string(),
+                if lat.recovery_samples > 0 {
+                    lat.recovery_p50_us.to_string()
+                } else {
+                    "-".into()
+                },
+                lat.recovery_samples.to_string(),
+            ],
+        );
     }
 
     if let Some(path) = &json_path {
@@ -259,7 +364,12 @@ fn main() {
     );
 }
 
-fn run_row(point: &GridPoint, mix: Mix, checkpoint_interval: usize) -> RowReport {
+fn run_row(
+    point: &GridPoint,
+    mix: Mix,
+    checkpoint_interval: usize,
+    kill_leader: bool,
+) -> RowReport {
     let cluster = LiveSmrBuilder::new(point.n)
         .seed(42)
         .pipeline_depth(4)
@@ -269,16 +379,36 @@ fn run_row(point: &GridPoint, mix: Mix, checkpoint_interval: usize) -> RowReport
         .expect("cluster boots");
     let addrs = cluster.addrs().to_vec();
     let total = point.clients * point.per_client;
+    // One shared client-side telemetry bundle: every worker records its
+    // request RTTs into the same `request_rtt_us` histogram.
+    let client_obs = Arc::new(Obs::new("clients"));
+    // In kill mode every worker checks in halfway so the leader kill
+    // lands mid-stream, not after the workload already drained.
+    let midpoint = Arc::new(std::sync::Barrier::new(
+        point.clients + usize::from(kill_leader),
+    ));
 
     let start = Instant::now();
     let workers: Vec<_> = (0..point.clients)
         .map(|c| {
             let addrs = addrs.clone();
             let per_client = point.per_client;
+            let obs = Arc::clone(&client_obs);
+            let midpoint = Arc::clone(&midpoint);
             thread::spawn(move || {
-                let mut client = SmrClient::<KvStore>::new(addrs, c as u64 + 1).leader_hint(c);
+                let mut client = SmrClient::<KvStore>::new(addrs, c as u64 + 1)
+                    .leader_hint(c)
+                    .attach_obs(obs);
+                if kill_leader {
+                    // Submissions spanning the kill retry through the view
+                    // change; give them the nemesis suite's budget.
+                    client = client.timeouts(Duration::from_millis(500), Duration::from_secs(120));
+                }
                 let mut writes = 0usize;
                 for i in 0..per_client {
+                    if kill_leader && i == per_client / 2 {
+                        midpoint.wait();
+                    }
                     if let (true, Mix::Reads { level, .. }) = (mix.is_read(i), mix) {
                         // Read back the most recently written key (or one
                         // not yet written — staleness is allowed at the
@@ -300,6 +430,16 @@ fn run_row(point: &GridPoint, mix: Mix, checkpoint_interval: usize) -> RowReport
         })
         .collect();
 
+    if kill_leader {
+        // Walk the one-event plan on this thread once every worker hits
+        // its midpoint: pause the leader with half the workload still to
+        // run, arming every survivor's recovery-latency clock — the view
+        // change routes the remaining writes around the dead leader.
+        midpoint.wait();
+        let plan = FaultPlan::new(42).at(Duration::ZERO, Fault::KillLeader);
+        execute(&cluster, &plan);
+    }
+
     let mut redirects = 0;
     let mut retries = 0;
     let mut writes = 0;
@@ -311,45 +451,60 @@ fn run_row(point: &GridPoint, mix: Mix, checkpoint_interval: usize) -> RowReport
     }
     let elapsed = start.elapsed();
 
+    let paused: Vec<usize> = (0..point.n).filter(|&i| cluster.is_paused(i)).collect();
     let reports = cluster.shutdown();
+    let live: Vec<&ReplicaReport> = reports.iter().filter(|r| !paused.contains(&r.id)).collect();
     assert!(
-        reports
-            .windows(2)
+        live.windows(2)
             .all(|w| w[0].total_log_len() == w[1].total_log_len()
                 && w[0].log_digest == w[1].log_digest),
         "replica logical logs diverged"
     );
     assert!(
-        reports[0].state.applied() >= writes as u64,
+        live[0].state.applied() >= writes as u64,
         "applied {} of {writes} writes",
-        reports[0].state.applied(),
+        live[0].state.applied(),
     );
     let resident = reports.iter().map(|r| r.log.len()).max().unwrap_or(0);
+    let cluster_metrics = ReplicaReport::aggregate_metrics(&reports);
+    let latency = RowLatency::from_metrics(&cluster_metrics, &client_obs.snapshot());
+    if kill_leader {
+        assert!(
+            latency.recovery_samples > 0,
+            "leader kill produced no recovery-latency samples"
+        );
+    }
 
     let secs = elapsed.as_secs_f64().max(1e-9);
+    let label = if kill_leader {
+        format!("{} + kill", mix.label())
+    } else {
+        mix.label()
+    };
     print_row(
         &format!("{} × {} × {}", point.n, point.clients, point.batch),
         &[
-            mix.label(),
+            label.clone(),
             total.to_string(),
             format!("{:.1}", secs * 1000.0),
             format!("{:.0}", total as f64 / secs),
             redirects.to_string(),
             retries.to_string(),
-            format!("{resident}/{}", reports[0].total_log_len()),
+            format!("{resident}/{}", live[0].total_log_len()),
         ],
     );
     RowReport {
         n: point.n,
         clients: point.clients,
         batch: point.batch,
-        workload: mix.label(),
+        workload: label,
         ops: total,
         wall_ms: secs * 1000.0,
         ops_per_sec: total as f64 / secs,
         redirects,
         retries,
         resident_log: resident,
-        total_log_len: reports[0].total_log_len(),
+        total_log_len: live[0].total_log_len(),
+        latency,
     }
 }

@@ -1,0 +1,267 @@
+//! Lock-free log-bucketed latency histograms (HDR-style).
+//!
+//! Values are bucketed by a power-of-two octave with 16 linear sub-buckets
+//! per octave, so the relative quantization error is bounded by 1/16 while
+//! the whole `u64` range fits in under a thousand buckets. Recording is a
+//! single relaxed `fetch_add` per bucket plus exact atomic `count`/`sum`/
+//! `min`/`max` side-channels, so histograms are safe to hammer from many
+//! threads and cheap enough to leave on in benches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of linear sub-bucket bits per power-of-two octave.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave (16).
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the whole `u64` range.
+const BUCKETS: usize = 61 * SUB as usize;
+
+/// Maps a value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let octave = (msb - (SUB_BITS - 1)) as usize;
+        let sub = ((v >> octave) & (SUB - 1)) as usize;
+        octave * SUB as usize + sub
+    }
+}
+
+/// Midpoint value represented by a bucket index (inverse of
+/// [`bucket_index`], up to quantization).
+fn bucket_value(index: usize) -> u64 {
+    let octave = (index / SUB as usize) as u32;
+    let sub = (index % SUB as usize) as u64;
+    if octave == 0 {
+        sub
+    } else {
+        (sub << octave) + (1u64 << (octave - 1))
+    }
+}
+
+/// A concurrent log-bucketed histogram of `u64` samples.
+///
+/// All mutation is via relaxed atomics: `record` never blocks and
+/// [`Histogram::snapshot`] reads a consistent-enough view without stopping
+/// writers (bucket counts are monotone, so a racing snapshot is simply a
+/// valid slightly-earlier histogram).
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, AtomicU64::default);
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Captures an immutable snapshot without pausing writers.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile readout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity for [`HistogramSnapshot::merge`]).
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Number of samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`; relative quantization error is
+    /// bounded by 1/16. `q <= 0` returns the exact minimum and `q >= 1`
+    /// the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(n);
+            if cumulative >= target {
+                return bucket_value(index).clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Folds another snapshot into this one (bucket-wise sum); used for
+    /// cluster-wide aggregation at shutdown.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 16);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 15);
+        assert_eq!(s.quantile(1.0), 15);
+        assert_eq!(s.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn bucket_round_trip_error_is_bounded() {
+        for shift in 0..63u32 {
+            let v = (1u64 << shift) + (1u64 << shift) / 3;
+            let r = bucket_value(bucket_index(v));
+            let err = r.abs_diff(v) as f64 / v as f64;
+            assert!(err <= 1.0 / 16.0, "v={v} r={r} err={err}");
+        }
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [5u64, 500, 50_000] {
+            a.record(v);
+            b.record(v * 2);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 6);
+        assert_eq!(m.max(), 100_000);
+        assert_eq!(m.min(), 5);
+    }
+}

@@ -1,0 +1,268 @@
+//! # probft-obs
+//!
+//! Unified, dependency-free telemetry for the ProBFT reproduction's live
+//! stack. ProBFT's headline claims are quantitative — `O(n√n)` messages,
+//! probabilistic commit latency (paper §3.3, Fig. 1b) — so the runtime
+//! needs latency *distributions*, not end-of-run averages. This crate
+//! provides the three pieces the live stack threads through itself:
+//!
+//! 1. **Metrics registry** ([`Registry`]): atomics-based [`Counter`]s and
+//!    [`Gauge`]s plus log-bucketed HDR-style [`Histogram`]s with
+//!    p50/p90/p99/p999 readout, snapshot-able without stopping the world,
+//!    with JSON and Prometheus text exposition on [`MetricsSnapshot`].
+//! 2. **Consensus-phase tracing** ([`Journal`]): a bounded ring buffer of
+//!    [`TraceEvent`]s — slots opening/deciding/applying, checkpoints,
+//!    view changes, overload sheds, nemesis fault markers — acting as a
+//!    flight recorder for chaos runs.
+//! 3. **The [`Obs`] bundle**: one per replica (or client), pre-registering
+//!    every known metric so hot paths touch pre-fetched atomic handles
+//!    and every exposition carries the same metric set.
+//!
+//! Everything here is `std`-only, lock-free on the hot paths (the journal
+//! and registration take short mutexes never held across I/O), and cheap
+//! enough to stay on in benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod registry;
+mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricsSnapshot, Registry};
+pub use trace::{Journal, TraceEvent, TraceKind, DEFAULT_JOURNAL_CAPACITY};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The per-entity telemetry bundle: a registry, a flight-recorder journal,
+/// a shared epoch clock, and pre-fetched handles for every metric the live
+/// stack records. Wrap it in an [`Arc`] and hand clones to each thread
+/// touching the entity.
+pub struct Obs {
+    registry: Arc<Registry>,
+    journal: Journal,
+    epoch: Instant,
+    /// Microseconds-since-epoch of the most recent nemesis fault, plus
+    /// one (so zero means "no outstanding fault"). Cleared by the first
+    /// commit progress after the fault, which records the elapsed time
+    /// into `recovery_latency_us`.
+    fault_marker: AtomicU64,
+
+    /// Request receive → reply sent, per request, at the serving replica (µs).
+    pub commit_latency_us: Arc<Histogram>,
+    /// Slot opened → slot decided (µs).
+    pub decide_latency_us: Arc<Histogram>,
+    /// Slot opened → slot applied to the state machine (µs).
+    pub apply_latency_us: Arc<Histogram>,
+    /// Entries per decided batch.
+    pub batch_size: Arc<Histogram>,
+    /// Time between consecutive local checkpoints (µs).
+    pub checkpoint_interval_us: Arc<Histogram>,
+    /// State-transfer request → snapshot restored (µs).
+    pub state_transfer_us: Arc<Histogram>,
+    /// Client-side request round-trip time (µs).
+    pub request_rtt_us: Arc<Histogram>,
+    /// Nemesis fault marker → next commit progress (µs): the view-change
+    /// recovery cost after a leader kill.
+    pub recovery_latency_us: Arc<Histogram>,
+
+    /// Requests answered from the reply cache without re-execution.
+    pub reply_cache_hits: Counter,
+    /// Slot messages dropped beyond the future-slot horizon.
+    pub drops_future_horizon: Counter,
+    /// Slot messages dropped by the per-slot flood cap.
+    pub drops_slot_flood: Counter,
+    /// Messages for already-closed slots dropped as stale.
+    pub drops_stale: Counter,
+    /// Invalid or unverifiable checkpoint traffic dropped.
+    pub drops_invalid_checkpoint: Counter,
+    /// Client submissions dropped because the pending queue was full.
+    pub drops_pending_overflow: Counter,
+    /// Frames abandoned mid-read after a peer stalled or died.
+    pub frames_torn: Counter,
+    /// Frames rejected by the wire codec.
+    pub frames_malformed: Counter,
+    /// Frames that could not be written to a peer socket.
+    pub frames_unsendable: Counter,
+    /// Client requests shed under overload.
+    pub shed_requests: Counter,
+    /// Client contacts answered with a leader redirect.
+    pub redirects_served: Counter,
+    /// Checkpoints taken locally.
+    pub checkpoints_taken: Counter,
+    /// Bytes of snapshot state received via state transfer.
+    pub state_transfer_bytes: Counter,
+    /// Client-side: requests retried after a transport error.
+    pub client_retries: Counter,
+    /// Client-side: redirects followed to reach the leader.
+    pub client_redirects: Counter,
+    /// Client-side: overload backoffs taken.
+    pub client_overloads: Counter,
+
+    /// Current depth of the pending client-request queue.
+    pub pending_depth: Gauge,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("label", &self.label())
+            .field("journal_len", &self.journal.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Obs {
+    /// Creates a bundle labeled `label` (e.g. `replica-0`) with the
+    /// default journal capacity.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self::with_journal_capacity(label, DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// Creates a bundle retaining at most `capacity` journal events.
+    pub fn with_journal_capacity(label: impl Into<String>, capacity: usize) -> Self {
+        let registry = Arc::new(Registry::new(label));
+        Self {
+            commit_latency_us: registry.histogram("commit_latency_us"),
+            decide_latency_us: registry.histogram("decide_latency_us"),
+            apply_latency_us: registry.histogram("apply_latency_us"),
+            batch_size: registry.histogram("batch_size"),
+            checkpoint_interval_us: registry.histogram("checkpoint_interval_us"),
+            state_transfer_us: registry.histogram("state_transfer_us"),
+            request_rtt_us: registry.histogram("request_rtt_us"),
+            recovery_latency_us: registry.histogram("recovery_latency_us"),
+            reply_cache_hits: registry.counter("reply_cache_hits"),
+            drops_future_horizon: registry.counter("drops_future_horizon"),
+            drops_slot_flood: registry.counter("drops_slot_flood"),
+            drops_stale: registry.counter("drops_stale"),
+            drops_invalid_checkpoint: registry.counter("drops_invalid_checkpoint"),
+            drops_pending_overflow: registry.counter("drops_pending_overflow"),
+            frames_torn: registry.counter("frames_torn"),
+            frames_malformed: registry.counter("frames_malformed"),
+            frames_unsendable: registry.counter("frames_unsendable"),
+            shed_requests: registry.counter("shed_requests"),
+            redirects_served: registry.counter("redirects_served"),
+            checkpoints_taken: registry.counter("checkpoints_taken"),
+            state_transfer_bytes: registry.counter("state_transfer_bytes"),
+            client_retries: registry.counter("client_retries"),
+            client_redirects: registry.counter("client_redirects"),
+            client_overloads: registry.counter("client_overloads"),
+            pending_depth: registry.gauge("pending_depth"),
+            registry,
+            journal: Journal::new(capacity),
+            epoch: Instant::now(),
+            fault_marker: AtomicU64::new(0),
+        }
+    }
+
+    /// The label this bundle reports under.
+    pub fn label(&self) -> &str {
+        self.registry.label()
+    }
+
+    /// Microseconds elapsed since this bundle was created — the clock all
+    /// journal timestamps and fault markers share.
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// The underlying registry, for ad-hoc (e.g. per-frame-kind labeled)
+    /// metrics beyond the pre-registered set.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Pre-fetches the labeled counter for frame bytes received of `kind`.
+    pub fn frame_bytes_in(&self, kind: &str) -> Counter {
+        self.registry
+            .counter_labeled("frame_bytes_in", &[("kind", kind)])
+    }
+
+    /// Pre-fetches the labeled counter for frame bytes sent of `kind`.
+    pub fn frame_bytes_out(&self, kind: &str) -> Counter {
+        self.registry
+            .counter_labeled("frame_bytes_out", &[("kind", kind)])
+    }
+
+    /// The flight-recorder journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Appends an event to the journal, stamped with [`Obs::now_micros`].
+    pub fn trace(&self, kind: TraceKind) {
+        self.journal.push(self.now_micros(), kind);
+    }
+
+    /// Captures a point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Injects a nemesis fault marker: journals `FaultStart` and arms the
+    /// recovery-latency clock. The next [`Obs::note_progress`] records the
+    /// elapsed time into `recovery_latency_us`.
+    pub fn mark_fault(&self, fault: &str) {
+        let now = self.now_micros();
+        self.journal.push(
+            now,
+            TraceKind::FaultStart {
+                fault: fault.to_string(),
+            },
+        );
+        self.fault_marker
+            .store(now.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// Journals that a nemesis fault was lifted. Does *not* disarm the
+    /// recovery clock: recovery means commit progress, not fault removal.
+    pub fn mark_fault_lifted(&self, fault: &str) {
+        self.trace(TraceKind::FaultStop {
+            fault: fault.to_string(),
+        });
+    }
+
+    /// Notes commit progress (a slot applied). If a fault marker is
+    /// armed, records the fault→progress latency and disarms it.
+    pub fn note_progress(&self) {
+        let marker = self.fault_marker.swap(0, Ordering::Relaxed);
+        if marker != 0 {
+            let elapsed = self.now_micros().saturating_sub(marker - 1);
+            self.recovery_latency_us.record(elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_marker_drives_recovery_histogram() {
+        let obs = Obs::new("replica-0");
+        obs.note_progress();
+        assert_eq!(obs.recovery_latency_us.count(), 0);
+        obs.mark_fault("kill leader 0");
+        obs.note_progress();
+        obs.note_progress();
+        assert_eq!(obs.recovery_latency_us.count(), 1);
+        let journal = obs.journal().snapshot();
+        assert!(matches!(journal[0].kind, TraceKind::FaultStart { .. }));
+    }
+
+    #[test]
+    fn every_metric_is_pre_registered() {
+        let obs = Obs::new("replica-3");
+        let snap = obs.snapshot();
+        assert_eq!(snap.label(), "replica-3");
+        assert!(snap.histogram("recovery_latency_us").is_some());
+        assert!(snap.histogram("commit_latency_us").is_some());
+        assert_eq!(snap.counter("reply_cache_hits"), 0);
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE probft_recovery_latency_us summary"));
+        assert!(text.contains("probft_reply_cache_hits{replica=\"replica-3\"} 0"));
+    }
+}

@@ -28,10 +28,12 @@
 use crate::live::{SmrFrame, SmrReply};
 use crate::transport::{read_frame, write_frame, FrameError};
 use probft_core::wire::Wire;
+use probft_obs::Obs;
 use probft_smr::{Command, Consistency, KvResponse, KvStore, OpKind, RequestId, StateMachine};
 use std::error::Error;
 use std::fmt;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors from submitting through an [`SmrClient`].
@@ -107,6 +109,9 @@ pub struct SmrClient<S: StateMachine = KvStore> {
     retries: u64,
     redirects: u64,
     overloads: u64,
+    /// Optional telemetry bundle: request RTTs land in `request_rtt_us`,
+    /// and retries/redirects/overloads mirror into `client_*` counters.
+    obs: Option<Arc<Obs>>,
 }
 
 impl<S: StateMachine> SmrClient<S> {
@@ -129,7 +134,19 @@ impl<S: StateMachine> SmrClient<S> {
             retries: 0,
             redirects: 0,
             overloads: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches a telemetry bundle. Each completed submission or read
+    /// records its end-to-end round-trip (across every retry and
+    /// redirect) into the bundle's `request_rtt_us` histogram, and
+    /// retries, redirects followed, and overload backoffs mirror into the
+    /// `client_retries` / `client_redirects` / `client_overloads`
+    /// counters.
+    pub fn attach_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Overrides the per-attempt reply timeout and the overall
@@ -230,7 +247,7 @@ impl<S: StateMachine> SmrClient<S> {
         let Some((request, kind, op)) = self.last.clone() else {
             return Err(ClientError::NoReplicas);
         };
-        self.retries += 1;
+        self.note_retry();
         self.send_until_applied(request, kind, &op)
     }
 
@@ -248,8 +265,19 @@ impl<S: StateMachine> SmrClient<S> {
     /// without progress, in which case rotate to the replica after the
     /// one we just asked (the redirect chain is going nowhere — probe the
     /// cluster instead of bouncing).
+    /// Bumps the retry count, mirrored into the attached bundle (if any).
+    fn note_retry(&mut self) {
+        self.retries += 1;
+        if let Some(obs) = &self.obs {
+            obs.client_retries.inc();
+        }
+    }
+
     fn follow_redirect(&mut self, named: SocketAddr, asked: SocketAddr) {
         self.redirects += 1;
+        if let Some(obs) = &self.obs {
+            obs.client_redirects.inc();
+        }
         let streak = match self.redirect_streak {
             Some((addr, count)) if addr == named => count + 1,
             _ => 1,
@@ -335,7 +363,7 @@ impl<S: StateMachine> SmrClient<S> {
                 if started.elapsed() >= self.overall_timeout {
                     return Err(ClientError::Exhausted { request, attempts });
                 }
-                self.retries += 1;
+                self.note_retry();
             }
             attempts += 1;
 
@@ -356,6 +384,10 @@ impl<S: StateMachine> SmrClient<S> {
             match self.await_reply(request) {
                 Some(Answer::Applied(response)) => {
                     self.redirect_streak = None;
+                    if let Some(obs) = &self.obs {
+                        obs.request_rtt_us
+                            .record(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    }
                     return Ok(response);
                 }
                 Some(Answer::Redirect(named)) => self.follow_redirect(named, target),
@@ -366,6 +398,9 @@ impl<S: StateMachine> SmrClient<S> {
                     // shed load onto the rest of the cluster. Exponential
                     // with a cap; the connection stays up.
                     self.overloads += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.client_overloads.inc();
+                    }
                     self.redirect_streak = None;
                     let backoff = OVERLOAD_BACKOFF_BASE
                         .saturating_mul(1u32 << overload_streak.min(10))

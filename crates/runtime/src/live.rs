@@ -44,6 +44,7 @@ use probft_core::wire::{put, Reader, Wire, WireError};
 use probft_crypto::keyring::{Keyring, PublicKeyring};
 use probft_crypto::schnorr::SigningKey;
 use probft_crypto::sha256::Digest;
+use probft_obs::{Counter, MetricsSnapshot, Obs, TraceEvent, TraceKind};
 use probft_quorum::ReplicaId;
 use probft_simnet::process::{Action, Context, Process, ProcessId, TimerToken};
 use probft_simnet::time::{SimDuration, SimTime};
@@ -524,12 +525,32 @@ pub struct ReplicaReport<S: StateMachine = KvStore> {
     /// The largest batch this replica ever proposed — the adaptive
     /// batching loop's observed high-water mark.
     pub max_batch: usize,
+    /// Final snapshot of the replica's `probft-obs` metrics registry:
+    /// latency histograms (commit/decide/apply/recovery), attributable
+    /// drop counters, frame byte counters, and gauges.
+    pub metrics: MetricsSnapshot,
+    /// The replica's flight-recorder journal at shutdown: the last
+    /// `DEFAULT_JOURNAL_CAPACITY` consensus-phase events, with any
+    /// nemesis fault markers interleaved on the same clock.
+    pub journal: Vec<TraceEvent>,
 }
 
 impl<S: StateMachine> ReplicaReport<S> {
     /// Total entries the replica applied: truncated plus resident.
     pub fn total_log_len(&self) -> u64 {
         self.log_offset.saturating_add(self.log.len() as u64)
+    }
+
+    /// Folds every replica's metrics snapshot into one cluster-wide
+    /// snapshot (labeled `cluster`): counters and histogram buckets add,
+    /// so percentiles read over the union of all replicas' samples.
+    pub fn aggregate_metrics(reports: &[ReplicaReport<S>]) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        merged.set_label("cluster");
+        for report in reports {
+            merged.merge(&report.metrics);
+        }
+        merged
     }
 }
 
@@ -677,6 +698,12 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
             (0..self.n).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let net = Arc::new(NetPolicy::default());
         net.reseed(self.seed);
+        // One telemetry bundle per replica, created up front so the
+        // cluster handle (and through it the nemesis) shares the exact
+        // registry and journal the replica thread records into.
+        let obs_handles: Vec<Arc<Obs>> = (0..self.n)
+            .map(|i| Arc::new(Obs::new(format!("replica-{i}"))))
+            .collect();
 
         let mut handles = Vec::with_capacity(self.n);
         // Zip the per-replica handles instead of indexing them: the loop
@@ -700,6 +727,10 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
             let stats = stats.clone();
             let addrs = addrs.clone();
             let net = net.clone();
+            let obs = obs_handles
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| Arc::new(Obs::new(format!("replica-{i}"))));
             handles.push(thread::spawn(move || {
                 smr_replica_main::<S>(
                     i,
@@ -715,6 +746,7 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
                     paused,
                     net,
                     leader_watch,
+                    obs,
                 )
             }));
         }
@@ -729,6 +761,7 @@ impl<S: StateMachine> LiveSmrBuilder<S> {
             leader_watches,
             net,
             keyring,
+            obs: obs_handles,
         })
     }
 }
@@ -759,6 +792,10 @@ pub struct LiveSmrCluster<S: StateMachine = KvStore> {
     /// agent sign protocol-valid equivocation with a real replica's key —
     /// the deployment-secret analogue of the sim's in-process adversary).
     keyring: Keyring,
+    /// Per-replica telemetry bundles — the same ones the replica threads
+    /// record into, so the nemesis can inject fault markers and tests can
+    /// watch histograms fill while the cluster runs.
+    obs: Vec<Arc<Obs>>,
 }
 
 impl<S: StateMachine> LiveSmrCluster<S> {
@@ -838,6 +875,43 @@ impl<S: StateMachine> LiveSmrCluster<S> {
             .max_by_key(|&(id, count)| (count, std::cmp::Reverse(id)))
             .map(|(id, _)| id as usize)
             .unwrap_or(0)
+    }
+
+    /// Replica `i`'s telemetry bundle — the exact registry and journal
+    /// its thread records into, live (None for out-of-range ids).
+    pub fn obs(&self, i: usize) -> Option<Arc<Obs>> {
+        self.obs.get(i).cloned()
+    }
+
+    /// Every replica's telemetry bundle, indexed by replica id.
+    pub fn obs_handles(&self) -> &[Arc<Obs>] {
+        &self.obs
+    }
+
+    /// Journals a nemesis fault marker on every replica's flight
+    /// recorder. With `kill` set the marker also arms each replica's
+    /// recovery-latency clock: its next applied slot records the
+    /// fault→progress time into the `recovery_latency_us` histogram —
+    /// the post-leader-kill view-change recovery cost.
+    pub fn note_fault(&self, fault: &str, kill: bool) {
+        for obs in &self.obs {
+            if kill {
+                obs.mark_fault(fault);
+            } else {
+                obs.trace(TraceKind::FaultStart {
+                    fault: fault.to_string(),
+                });
+            }
+        }
+    }
+
+    /// Journals the lifting of a nemesis fault on every replica's flight
+    /// recorder (the recovery clock, if armed, stays armed: recovery
+    /// means commit progress, not fault removal).
+    pub fn note_fault_lifted(&self, fault: &str) {
+        for obs in &self.obs {
+            obs.mark_fault_lifted(fault);
+        }
     }
 
     /// The cluster's full keyring. Fault-injection surface: a nemesis
@@ -937,6 +1011,7 @@ fn smr_replica_main<S: StateMachine>(
     paused: Arc<AtomicBool>,
     net: Arc<NetPolicy>,
     leader_watch: Arc<AtomicU64>,
+    obs: Arc<Obs>,
 ) -> ReplicaReport<S> {
     let n = addrs.len();
     let (event_tx, event_rx) = mpsc::channel::<SmrEvent<S>>();
@@ -949,6 +1024,16 @@ fn smr_replica_main<S: StateMachine>(
         Vec::new(), // no prebuilt workload: operations arrive from clients
         settings,
     );
+    // Record into the bundle the cluster handle (and the nemesis) shares.
+    node.set_obs(obs.clone());
+    // Pre-fetched per-kind outbound byte counters: one registry lookup
+    // here instead of one per sent frame.
+    let out_bytes = FrameOutCounters {
+        peer: obs.frame_bytes_out("peer"),
+        checkpoint: obs.frame_bytes_out("checkpoint"),
+        state: obs.frame_bytes_out("state"),
+        unsendable: obs.frames_unsendable.clone(),
+    };
 
     // Accept loop: one tracked reader thread per inbound connection
     // (peer or client — frames are self-describing).
@@ -958,6 +1043,7 @@ fn smr_replica_main<S: StateMachine>(
         let shutdown = shutdown.clone();
         let stats = stats.clone();
         let readers = readers.clone();
+        let obs = obs.clone();
         let can_accept = listener.set_nonblocking(true).is_ok();
         thread::spawn(move || {
             while can_accept && !shutdown.load(Ordering::SeqCst) {
@@ -966,8 +1052,9 @@ fn smr_replica_main<S: StateMachine>(
                         let event_tx = event_tx.clone();
                         let shutdown = shutdown.clone();
                         let stats = stats.clone();
+                        let obs = obs.clone();
                         let handle = thread::spawn(move || {
-                            smr_reader_loop::<S>(stream, n, event_tx, shutdown, stats)
+                            smr_reader_loop::<S>(stream, n, event_tx, shutdown, stats, obs)
                         });
                         if let Ok(mut guard) = readers.lock() {
                             reap_finished(&mut guard);
@@ -1033,6 +1120,7 @@ fn smr_replica_main<S: StateMachine>(
         &stats,
         &net,
         &mut delayed,
+        &out_bytes,
     );
 
     // Follower probing (the idle-leader-crash escape hatch): client
@@ -1073,10 +1161,17 @@ fn smr_replica_main<S: StateMachine>(
                 &stats,
                 &net,
                 &mut delayed,
+                &out_bytes,
             );
         }
         // Release any latency-held outbound frames that came due.
-        delayed.flush(&mut peers, &addrs, connect_attempts(started), &stats);
+        delayed.flush(
+            &mut peers,
+            &addrs,
+            connect_attempts(started),
+            &stats,
+            &out_bytes.unsendable,
+        );
 
         // Wait for the next event, timer deadline, or held-frame release.
         let wait = timers
@@ -1103,6 +1198,7 @@ fn smr_replica_main<S: StateMachine>(
                     &stats,
                     &net,
                     &mut delayed,
+                    &out_bytes,
                 );
             }
             Ok(SmrEvent::Request {
@@ -1124,6 +1220,10 @@ fn smr_replica_main<S: StateMachine>(
                             addr,
                         },
                     );
+                    obs.redirects_served.inc();
+                    obs.trace(TraceKind::RedirectServed {
+                        leader: leader as u64,
+                    });
                     // Counted toward the follower probe (checked once per
                     // loop turn, below).
                     unserved_contacts += 1;
@@ -1142,6 +1242,8 @@ fn smr_replica_main<S: StateMachine>(
                     // an entry already queued are exempt: refusing those
                     // would orphan their reply handle.
                     shed_requests += 1;
+                    obs.shed_requests.inc();
+                    obs.trace(TraceKind::OverloadShed);
                     send_reply::<S>(
                         &reply,
                         SmrReply::Overloaded {
@@ -1176,6 +1278,7 @@ fn smr_replica_main<S: StateMachine>(
                         &stats,
                         &net,
                         &mut delayed,
+                        &out_bytes,
                     );
                 }
             }
@@ -1206,6 +1309,10 @@ fn smr_replica_main<S: StateMachine>(
                             addr,
                         },
                     );
+                    obs.redirects_served.inc();
+                    obs.trace(TraceKind::RedirectServed {
+                        leader: leader as u64,
+                    });
                     // A leader read bounced off a silent leader is client
                     // contact too — it must count toward the probe, or an
                     // idle dead-leader cluster would serve writes but
@@ -1239,6 +1346,7 @@ fn smr_replica_main<S: StateMachine>(
                 &stats,
                 &net,
                 &mut delayed,
+                &out_bytes,
             );
             unserved_contacts = 0;
         }
@@ -1246,7 +1354,12 @@ fn smr_replica_main<S: StateMachine>(
         // Answer every client whose entry reached the applied log, with
         // the typed response its operation produced.
         for applied in node.drain_applied() {
-            if let Some((reply, _)) = waiting.remove(&applied.request) {
+            if let Some((reply, since)) = waiting.remove(&applied.request) {
+                // Receive → applied-and-answered at this replica: the
+                // server-side commit latency the paper's probabilistic
+                // latency claims are about.
+                obs.commit_latency_us
+                    .record(since.elapsed().as_micros().min(u64::MAX as u128) as u64);
                 send_reply::<S>(
                     &reply,
                     SmrReply::Applied {
@@ -1296,6 +1409,8 @@ fn smr_replica_main<S: StateMachine>(
         checkpoints: node.checkpoint_stats(),
         shed_requests,
         max_batch: node.max_batch_proposed(),
+        metrics: obs.snapshot(),
+        journal: obs.journal().snapshot(),
     }
 }
 
@@ -1328,7 +1443,14 @@ fn smr_reader_loop<S: StateMachine>(
     event_tx: mpsc::Sender<SmrEvent<S>>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<TransportStats>,
+    obs: Arc<Obs>,
 ) {
+    // One registry lookup per kind at connection start, not per frame.
+    let in_peer = obs.frame_bytes_in("peer");
+    let in_request = obs.frame_bytes_in("request");
+    let in_read = obs.frame_bytes_in("read");
+    let in_checkpoint = obs.frame_bytes_in("checkpoint");
+    let in_state = obs.frame_bytes_in("state");
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let _ = stream.set_nodelay(true);
     // Bound reply writes: a client that stops reading must cost the
@@ -1344,6 +1466,7 @@ fn smr_reader_loop<S: StateMachine>(
         match read_frame(&mut reader) {
             Ok(Some(frame)) => match SmrFrame::<S>::from_wire_bytes(&frame) {
                 Ok(SmrFrame::Peer { from, msg }) if (from as usize) < n => {
+                    in_peer.add(frame.len() as u64);
                     if event_tx
                         .send(SmrEvent::Peer(
                             ProcessId(from as usize),
@@ -1360,6 +1483,7 @@ fn smr_reader_loop<S: StateMachine>(
                 // forged reply is discarded by the digest check against
                 // the attested quorum.
                 Ok(SmrFrame::CheckpointVote(vote)) if vote.from.index() < n => {
+                    in_checkpoint.add(frame.len() as u64);
                     let from = ProcessId(vote.from.index());
                     if event_tx
                         .send(SmrEvent::Peer(from, SmrMessage::CheckpointVote(vote)))
@@ -1369,6 +1493,7 @@ fn smr_reader_loop<S: StateMachine>(
                     }
                 }
                 Ok(SmrFrame::StateRequest { from, req }) if (from as usize) < n => {
+                    in_state.add(frame.len() as u64);
                     if event_tx
                         .send(SmrEvent::Peer(
                             ProcessId(from as usize),
@@ -1380,6 +1505,7 @@ fn smr_reader_loop<S: StateMachine>(
                     }
                 }
                 Ok(SmrFrame::StateReply { from, rep }) if (from as usize) < n => {
+                    in_state.add(frame.len() as u64);
                     if event_tx
                         .send(SmrEvent::Peer(
                             ProcessId(from as usize),
@@ -1391,6 +1517,7 @@ fn smr_reader_loop<S: StateMachine>(
                     }
                 }
                 Ok(SmrFrame::Request { request, kind, op }) => {
+                    in_request.add(frame.len() as u64);
                     let event = SmrEvent::Request {
                         request,
                         kind,
@@ -1406,6 +1533,7 @@ fn smr_reader_loop<S: StateMachine>(
                     consistency,
                     op,
                 }) => {
+                    in_read.add(frame.len() as u64);
                     // A linearizable read *is* an ordered request (a
                     // read-kind entry): rewrite it here so the event loop
                     // serves it through the one request path — dedup,
@@ -1436,8 +1564,14 @@ fn smr_reader_loop<S: StateMachine>(
                 | Ok(SmrFrame::ReadReply { .. })
                 | Ok(SmrFrame::CheckpointVote(_))
                 | Ok(SmrFrame::StateRequest { .. })
-                | Ok(SmrFrame::StateReply { .. }) => stats.note_malformed(),
-                Err(_) => stats.note_malformed(),
+                | Ok(SmrFrame::StateReply { .. }) => {
+                    stats.note_malformed();
+                    obs.frames_malformed.inc();
+                }
+                Err(_) => {
+                    stats.note_malformed();
+                    obs.frames_malformed.inc();
+                }
             },
             Ok(None) => return, // clean close at a frame boundary
             Err(FrameError::Io(e))
@@ -1448,10 +1582,12 @@ fn smr_reader_loop<S: StateMachine>(
             }
             Err(FrameError::Oversized(_)) => {
                 stats.note_malformed();
+                obs.frames_malformed.inc();
                 return;
             }
             Err(FrameError::Io(_) | FrameError::Stalled { .. }) => {
                 stats.note_torn();
+                obs.frames_torn.inc();
                 return;
             }
         }
@@ -1474,6 +1610,7 @@ fn apply_smr_actions<S: StateMachine>(
     stats: &TransportStats,
     net: &NetPolicy,
     delayed: &mut DelayedFrames,
+    out: &FrameOutCounters,
 ) {
     for action in actions {
         match action {
@@ -1481,6 +1618,11 @@ fn apply_smr_actions<S: StateMachine>(
                 if to.index() >= addrs.len() {
                     continue;
                 }
+                let out_bytes = match &msg {
+                    SmrMessage::Slot(_) => &out.peer,
+                    SmrMessage::CheckpointVote(_) => &out.checkpoint,
+                    SmrMessage::StateRequest(_) | SmrMessage::StateReply(_) => &out.state,
+                };
                 let frame = match msg {
                     SmrMessage::Slot(msg) => SmrFrame::<S>::Peer {
                         from: id as u32,
@@ -1500,6 +1642,7 @@ fn apply_smr_actions<S: StateMachine>(
                 match net.decide(id, to.index()) {
                     LinkDecision::Drop => continue,
                     LinkDecision::Delay(by) => {
+                        out_bytes.add(frame.len() as u64);
                         // Hold the frame on the heap; the event loop
                         // flushes it once its delivery instant is due.
                         // Per-link FIFO order is preserved: a later frame
@@ -1518,7 +1661,16 @@ fn apply_smr_actions<S: StateMachine>(
                             .push(Reverse((at, delayed.seq, to.index(), frame)));
                     }
                     LinkDecision::Deliver => {
-                        write_peer_frame(peers, to.index(), addrs, connect_attempts, stats, &frame);
+                        out_bytes.add(frame.len() as u64);
+                        write_peer_frame(
+                            peers,
+                            to.index(),
+                            addrs,
+                            connect_attempts,
+                            stats,
+                            &out.unsendable,
+                            &frame,
+                        );
                     }
                 }
             }
@@ -1529,6 +1681,17 @@ fn apply_smr_actions<S: StateMachine>(
             Action::Halt => {}
         }
     }
+}
+
+/// Outbound byte counters pre-fetched from the [`Obs`] registry once per
+/// replica thread, keyed by frame kind — one registry lock at boot instead
+/// of one per frame. `unsendable` mirrors [`TransportStats::unsendable`]
+/// into the metrics snapshot.
+struct FrameOutCounters {
+    peer: Counter,
+    checkpoint: Counter,
+    state: Counter,
+    unsendable: Counter,
 }
 
 /// One held-back frame: delivery instant, insertion sequence (FIFO tie
@@ -1551,6 +1714,7 @@ impl DelayedFrames {
         addrs: &[SocketAddr],
         connect_attempts: u32,
         stats: &TransportStats,
+        unsendable: &Counter,
     ) {
         while let Some(Reverse((at, ..))) = self.heap.peek() {
             if *at > Instant::now() {
@@ -1559,7 +1723,15 @@ impl DelayedFrames {
             let Some(Reverse((_, _, to, frame))) = self.heap.pop() else {
                 break;
             };
-            write_peer_frame(peers, to, addrs, connect_attempts, stats, &frame);
+            write_peer_frame(
+                peers,
+                to,
+                addrs,
+                connect_attempts,
+                stats,
+                unsendable,
+                &frame,
+            );
         }
     }
 
@@ -1579,6 +1751,7 @@ fn write_peer_frame(
     addrs: &[SocketAddr],
     connect_attempts: u32,
     stats: &TransportStats,
+    unsendable: &Counter,
     frame: &[u8],
 ) {
     if let Some(stream) = connect_peer(peers, to, addrs, connect_attempts) {
@@ -1590,7 +1763,10 @@ fn write_peer_frame(
             // traffic, so keep it — but count the loss, or a
             // too-big-to-transfer snapshot would strand its
             // laggard with no observable signal.
-            Err(FrameError::Oversized(_)) => stats.note_unsendable(),
+            Err(FrameError::Oversized(_)) => {
+                stats.note_unsendable();
+                unsendable.inc();
+            }
             Err(_) => {
                 // Broken link; a later send reconnects.
                 if let Some(slot) = peers.get_mut(to) {

@@ -196,28 +196,36 @@ fn apply_fault<S: StateMachine>(cluster: &LiveSmrCluster<S>, fault: &Fault, seed
     match fault {
         Fault::KillLeader => {
             let leader = cluster.current_leader();
+            // Arm recovery-latency tracking on the survivors *before* the
+            // pause takes effect, so the window includes the whole outage.
+            cluster.note_fault("kill-leader", true);
             cluster.pause(leader);
             format!("kill-leader: paused replica {leader}")
         }
         Fault::Kill(i) => {
+            cluster.note_fault("kill", true);
             cluster.pause(*i);
             format!("kill: paused replica {i}")
         }
         Fault::Resume(i) => {
             cluster.resume(*i);
+            cluster.note_fault_lifted("resume");
             format!("resume: replica {i}")
         }
         Fault::ResumeAll => {
             for i in 0..cluster.addrs().len() {
                 cluster.resume(i);
             }
+            cluster.note_fault_lifted("resume-all");
             "resume-all".into()
         }
         Fault::Isolate { from, to } => {
+            cluster.note_fault("isolate", false);
             cluster.net().set_link(*from, *to, LinkRule::blackhole());
             format!("isolate: blackhole {from} -> {to}")
         }
         Fault::Jitter { from, to, min, max } => {
+            cluster.note_fault("jitter", false);
             cluster
                 .net()
                 .set_link(*from, *to, LinkRule::latency(*min, *max));
@@ -229,10 +237,17 @@ fn apply_fault<S: StateMachine>(cluster: &LiveSmrCluster<S>, fault: &Fault, seed
         }
         Fault::Heal => {
             cluster.net().heal();
+            cluster.note_fault_lifted("heal");
             "heal: all link rules cleared".into()
         }
-        Fault::Equivocate => equivocate(cluster, seed),
-        Fault::FarFutureSpray => far_future_spray(cluster, seed),
+        Fault::Equivocate => {
+            cluster.note_fault("equivocate", false);
+            equivocate(cluster, seed)
+        }
+        Fault::FarFutureSpray => {
+            cluster.note_fault("far-future-spray", false);
+            far_future_spray(cluster, seed)
+        }
     }
 }
 

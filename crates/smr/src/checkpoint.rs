@@ -311,6 +311,10 @@ pub struct CheckpointStats {
     /// Times this node caught up by restoring a transferred snapshot
     /// instead of replaying the log.
     pub state_transfers: u64,
+    /// Total encoded-snapshot bytes restored via state transfer (the
+    /// payload cost of catching up, mirrored into the `probft-obs`
+    /// registry as `state_transfer_bytes`).
+    pub transfer_bytes: u64,
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ use probft_core::wire::{put, Reader, Wire, WireError};
 use probft_crypto::keyring::PublicKeyring;
 use probft_crypto::schnorr::SigningKey;
 use probft_crypto::sha256::{Digest, Sha256};
+use probft_obs::{Counter, Obs, TraceKind};
 use probft_quorum::ReplicaId;
 use probft_simnet::metrics::Measurable;
 use probft_simnet::process::{Action, Context, Process, ProcessId, TimerToken};
@@ -376,6 +377,20 @@ pub struct SmrNode<S: StateMachine> {
     /// adaptive-batching loop (how far past the static cap load pushed
     /// it).
     max_batch_proposed: usize,
+    /// Telemetry bundle: metrics registry plus flight-recorder journal
+    /// (`probft-obs`). The live runtime attaches a shared handle so the
+    /// nemesis and shutdown aggregation see what this node records.
+    obs: Arc<Obs>,
+    /// Obs-clock micros at which each in-flight slot opened — feeds the
+    /// decide/apply latency histograms. Entries live and die with
+    /// `slots`, so the map is bounded by the pipeline window.
+    opened_at: BTreeMap<u64, u64>,
+    /// Obs-clock micros of the previous local checkpoint (drives the
+    /// checkpoint-interval histogram).
+    last_checkpoint_at: Option<u64>,
+    /// Obs-clock micros at which the outstanding state transfer was
+    /// requested (drives the state-transfer duration histogram).
+    transfer_started_at: Option<u64>,
     rng: StdRng,
 }
 
@@ -419,6 +434,10 @@ impl<S: StateMachine> SmrNode<S> {
             applied_requests: BTreeMap::new(),
             applied_events: Vec::new(),
             max_batch_proposed: 0,
+            obs: Arc::new(Obs::new(format!("replica-{}", id.0))),
+            opened_at: BTreeMap::new(),
+            last_checkpoint_at: None,
+            transfer_started_at: None,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -495,6 +514,25 @@ impl<S: StateMachine> SmrNode<S> {
     /// signalling this replica diverged from a checkpoint quorum).
     pub fn dropped_messages(&self) -> u64 {
         self.dropped_messages
+    }
+
+    /// The telemetry bundle this node records into.
+    pub fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// Replaces the telemetry bundle. The live runtime attaches one it
+    /// created up front so fault injection and shutdown aggregation share
+    /// the registry and journal this node records into.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = obs;
+    }
+
+    /// Bumps the back-compat drop total *and* the attributable registry
+    /// counter for one rejected message, so drops stop being conflated.
+    fn note_dropped(&mut self, counter: Counter) {
+        self.dropped_messages = self.dropped_messages.saturating_add(1);
+        counter.inc();
     }
 
     /// Messages currently buffered for in-window slots not yet open here.
@@ -581,10 +619,11 @@ impl<S: StateMachine> SmrNode<S> {
         // An embedding runtime that skips the `overloaded()` admission
         // check must still not grow this queue without bound.
         if self.pending.len() >= MAX_PENDING_ENTRIES {
-            self.dropped_messages += 1;
+            self.note_dropped(self.obs.drops_pending_overflow.clone());
             return;
         }
         self.pending.push_back(entry);
+        self.obs.pending_depth.set(self.pending.len() as u64);
         self.open_ready_slots(ctx);
     }
 
@@ -630,7 +669,7 @@ impl<S: StateMachine> SmrNode<S> {
     /// Batches are drained in slot-open order, which is ascending slot
     /// order at every pipeline depth — that invariant is what makes a
     /// pipelined run decide the same value per slot as a sequential one.
-    fn next_value(&mut self) -> Value {
+    fn next_value(&mut self) -> (Value, usize) {
         let pending = self.pending.len();
         let take = if self.settings.adaptive_batching {
             // `next_value` runs from `open_slot`, after `next_open` was
@@ -652,7 +691,9 @@ impl<S: StateMachine> SmrNode<S> {
         .min(pending);
         self.max_batch_proposed = self.max_batch_proposed.max(take);
         let entries: Vec<Entry<S::Op>> = self.pending.drain(..take).collect();
-        Batch(entries).to_value()
+        self.obs.pending_depth.set(self.pending.len() as u64);
+        self.obs.batch_size.record(take as u64);
+        (Batch(entries).to_value(), take)
     }
 
     /// Opens every slot the pipeline window allows. In lazy (live) mode a
@@ -676,7 +717,18 @@ impl<S: StateMachine> SmrNode<S> {
 
     /// Opens slot `slot` and runs its `on_start`.
     fn open_slot(&mut self, slot: u64, ctx: &mut Context<'_, SmrMessage>) {
-        let value = self.next_value();
+        let (value, batched) = self.next_value();
+        self.opened_at.insert(slot, self.obs.now_micros());
+        self.obs.trace(TraceKind::SlotOpened {
+            slot,
+            view: View::FIRST.0,
+        });
+        if batched > 0 {
+            self.obs.trace(TraceKind::BatchFormed {
+                slot,
+                entries: batched as u64,
+            });
+        }
         let mut replica = Replica::new(
             self.cfg.clone(),
             self.id,
@@ -749,6 +801,19 @@ impl<S: StateMachine> SmrNode<S> {
         };
         let newly_decided = !already_decided && replica.decision().is_some();
         self.relay(slot, actions, ctx);
+        if newly_decided {
+            let view = self
+                .slots
+                .get(&slot)
+                .and_then(|r| r.decision())
+                .map_or(0, |d| d.view.0);
+            if let Some(&opened) = self.opened_at.get(&slot) {
+                self.obs
+                    .decide_latency_us
+                    .record(self.obs.now_micros().saturating_sub(opened));
+            }
+            self.obs.trace(TraceKind::SlotDecided { slot, view });
+        }
 
         // Out-of-order decisions (slot > next_apply) stay buffered in their
         // replica until the gap closes; only the in-order frontier advances
@@ -768,15 +833,29 @@ impl<S: StateMachine> SmrNode<S> {
             };
             // The deciding view outlives the slot: it is the leader hint
             // handed to redirected clients while no slot is in flight.
+            if decision.view.0 > self.last_decided_view.0 {
+                self.obs.trace(TraceKind::ViewChange {
+                    from_view: self.last_decided_view.0,
+                    to_view: decision.view.0,
+                });
+            }
             self.last_decided_view = decision.view;
             let batch = Batch::from_value(&decision.value).unwrap_or_default();
             let slot = self.next_apply;
+            let entries = batch.0.len() as u64;
             for entry in batch.0 {
                 self.apply_entry(entry, slot);
             }
             // The slot is applied: free its replica and message state.
             // Only the log, machine state, and checkpoints outlive a slot.
             self.slots.remove(&slot);
+            if let Some(opened) = self.opened_at.remove(&slot) {
+                self.obs
+                    .apply_latency_us
+                    .record(self.obs.now_micros().saturating_sub(opened));
+            }
+            self.obs.trace(TraceKind::SlotApplied { slot, entries });
+            self.obs.note_progress();
             self.next_apply = self.next_apply.saturating_add(1);
             self.maybe_take_checkpoint(ctx);
             self.open_ready_slots(ctx);
@@ -812,6 +891,9 @@ impl<S: StateMachine> SmrNode<S> {
                     None
                 };
                 let fresh = cached.is_none();
+                if !fresh {
+                    self.obs.reply_cache_hits.inc();
+                }
                 let response = match cached {
                     Some(response) => response,
                     None => {
@@ -895,6 +977,15 @@ impl<S: StateMachine> SmrNode<S> {
             self.own_checkpoints.pop_first();
         }
         self.ckpt_stats.taken += 1;
+        self.obs.checkpoints_taken.inc();
+        let now = self.obs.now_micros();
+        if let Some(prev) = self.last_checkpoint_at {
+            self.obs
+                .checkpoint_interval_us
+                .record(now.saturating_sub(prev));
+        }
+        self.last_checkpoint_at = Some(now);
+        self.obs.trace(TraceKind::CheckpointVote { slot });
         let vote = CheckpointVote::sign(&self.sk, self.id, slot, digest);
         for peer in self.cfg.all_replicas() {
             if peer != self.id {
@@ -915,7 +1006,7 @@ impl<S: StateMachine> SmrNode<S> {
     fn record_vote(&mut self, vote: CheckpointVote, ctx: &mut Context<'_, SmrMessage>) {
         let interval = self.settings.checkpoint_interval as u64;
         if interval == 0 || vote.slot == 0 || !vote.slot.is_multiple_of(interval) {
-            self.dropped_messages += 1;
+            self.note_dropped(self.obs.drops_invalid_checkpoint.clone());
             return;
         }
         if vote.slot <= self.stable_slot() {
@@ -937,7 +1028,7 @@ impl<S: StateMachine> SmrNode<S> {
                 .map(|(s, _)| s)
             {
                 self.votes.remove(&evict);
-                self.dropped_messages += 1;
+                self.note_dropped(self.obs.drops_invalid_checkpoint.clone());
                 if evict == slot {
                     return;
                 }
@@ -978,6 +1069,8 @@ impl<S: StateMachine> SmrNode<S> {
             // snapshot-sized replies; the next boundary's quorum is the
             // retry path if all of them fail.
             self.transfer_wanted = Some((slot, digest));
+            self.transfer_started_at = Some(self.obs.now_micros());
+            self.obs.trace(TraceKind::StateTransferStart { slot });
             let voters: Vec<ReplicaId> = self
                 .votes
                 .get(&slot)
@@ -1016,7 +1109,7 @@ impl<S: StateMachine> SmrNode<S> {
             // diverged (or the quorum is corrupt). Keep serving from the
             // old checkpoint and surface the disagreement as a drop.
             self.own_checkpoints.insert(slot, own);
-            self.dropped_messages += 1;
+            self.note_dropped(self.obs.drops_invalid_checkpoint.clone());
             return;
         }
         let drop = usize::try_from(own.log_len.saturating_sub(self.log_offset))
@@ -1026,6 +1119,7 @@ impl<S: StateMachine> SmrNode<S> {
         self.log_offset = self.log_offset.saturating_add(drop as u64);
         self.ckpt_stats.truncated_entries += drop as u64;
         self.ckpt_stats.stable_slot = slot;
+        self.obs.trace(TraceKind::CheckpointStable { slot });
         // The quorum of signed votes is the checkpoint's certificate:
         // kept alongside the snapshot so served/pushed copies prove
         // themselves to receivers with no vote state of their own.
@@ -1130,7 +1224,7 @@ impl<S: StateMachine> SmrNode<S> {
     fn handle_state_reply(&mut self, rep: StateReply, ctx: &mut Context<'_, SmrMessage>) {
         let interval = self.settings.checkpoint_interval as u64;
         if interval == 0 || !rep.slot.is_multiple_of(interval) {
-            self.dropped_messages += 1;
+            self.note_dropped(self.obs.drops_invalid_checkpoint.clone());
             return;
         }
         // Mirror the request condition: a transfer is only *useful* (and
@@ -1147,15 +1241,15 @@ impl<S: StateMachine> SmrNode<S> {
         }
         let digest = Snapshot::<S>::digest(&rep.snapshot);
         if !self.certificate_proves(&rep, digest) {
-            self.dropped_messages += 1;
+            self.note_dropped(self.obs.drops_invalid_checkpoint.clone());
             return;
         }
         let Ok(snapshot) = Snapshot::<S>::from_wire_bytes(&rep.snapshot) else {
-            self.dropped_messages += 1;
+            self.note_dropped(self.obs.drops_invalid_checkpoint.clone());
             return;
         };
         if snapshot.slot != rep.slot {
-            self.dropped_messages += 1;
+            self.note_dropped(self.obs.drops_invalid_checkpoint.clone());
             return;
         }
         self.restore_from(snapshot, rep, digest, ctx);
@@ -1195,6 +1289,7 @@ impl<S: StateMachine> SmrNode<S> {
         digest: Digest,
         ctx: &mut Context<'_, SmrMessage>,
     ) {
+        let transferred_bytes = rep.snapshot.len() as u64;
         self.state = snapshot.state;
         self.applied_requests = snapshot.replies;
         // `last_decided_view` is deliberately NOT in the snapshot (it is a
@@ -1204,6 +1299,7 @@ impl<S: StateMachine> SmrNode<S> {
         self.next_apply = snapshot.slot;
         self.next_open = snapshot.slot;
         self.slots.clear();
+        self.opened_at.clear();
         self.timers.clear();
         self.future.retain(|&s, _| s >= snapshot.slot);
         self.log.clear();
@@ -1213,6 +1309,20 @@ impl<S: StateMachine> SmrNode<S> {
         self.votes.retain(|&s, _| s > snapshot.slot);
         self.ckpt_stats.stable_slot = snapshot.slot;
         self.ckpt_stats.state_transfers += 1;
+        self.ckpt_stats.transfer_bytes = self
+            .ckpt_stats
+            .transfer_bytes
+            .saturating_add(transferred_bytes);
+        self.obs.state_transfer_bytes.add(transferred_bytes);
+        if let Some(started) = self.transfer_started_at.take() {
+            self.obs
+                .state_transfer_us
+                .record(self.obs.now_micros().saturating_sub(started));
+        }
+        self.obs.trace(TraceKind::StateTransferDone {
+            slot: snapshot.slot,
+            bytes: transferred_bytes,
+        });
         self.stable = Some(StableCheckpoint {
             slot: snapshot.slot,
             digest,
@@ -1259,7 +1369,7 @@ impl<S: StateMachine> SmrNode<S> {
             // is below our stable checkpoint, it is stranded (those slots
             // are truncated cluster-wide) and this traffic is our only
             // signal of its existence: push the checkpoint to it.
-            self.dropped_messages += 1;
+            self.note_dropped(self.obs.drops_stale.clone());
             self.maybe_push_checkpoint(from, slot, ctx);
             return;
         }
@@ -1272,7 +1382,7 @@ impl<S: StateMachine> SmrNode<S> {
         let window = self.settings.future_window();
         let horizon = self.next_apply.saturating_add(window);
         if slot >= horizon {
-            self.dropped_messages += 1;
+            self.note_dropped(self.obs.drops_future_horizon.clone());
             return;
         }
         let open_horizon = self
@@ -1297,7 +1407,7 @@ impl<S: StateMachine> SmrNode<S> {
         // the slot, with a hard per-slot cap against single-slot floods.
         let buffered = self.future.entry(slot).or_default();
         if buffered.len() >= MAX_BUFFERED_PER_SLOT {
-            self.dropped_messages += 1;
+            self.note_dropped(self.obs.drops_slot_flood.clone());
         } else {
             buffered.push(msg.inner);
         }
@@ -1321,7 +1431,7 @@ impl<S: StateMachine> Process for SmrNode<S> {
                 if vote.verify(&self.keys) {
                     self.record_vote(vote, ctx);
                 } else {
-                    self.dropped_messages += 1;
+                    self.note_dropped(self.obs.drops_invalid_checkpoint.clone());
                 }
             }
             SmrMessage::StateRequest(req) => self.handle_state_request(from, req, ctx),

@@ -12,8 +12,15 @@
 //! id (answered from the reply cache, applied exactly once), and reads
 //! the store back at all three consistency tiers. At shutdown every
 //! replica must hold the identical log and key-value state.
+//!
+//! The run is fully traced: every replica carries a `probft-obs` bundle,
+//! so the shutdown reports include metrics snapshots (commit latency,
+//! batch sizes, frame bytes by kind) and a flight-recorder journal of
+//! phase transitions. The example ends by printing the leader's journal
+//! and the cluster-wide Prometheus exposition — the same text a scrape
+//! endpoint would serve.
 
-use probft::runtime::LiveSmrBuilder;
+use probft::runtime::{LiveSmrBuilder, ReplicaReport};
 use probft::smr::{Consistency, KvResponse};
 use std::time::Instant;
 
@@ -106,6 +113,46 @@ fn main() {
     assert!(
         first.log.iter().filter(|e| e.is_read()).count() >= 1,
         "the linearizable read occupies a log position"
+    );
+
+    // The traced run: each report carries its replica's flight-recorder
+    // journal — the slot lifecycle (opened → batch formed → decided →
+    // applied) as it actually interleaved on that replica.
+    let leader = reports
+        .iter()
+        .max_by_key(|r| r.journal.len())
+        .expect("nonempty cluster");
+    println!(
+        "\nFlight recorder, replica {} ({} events; timestamps are µs-precise offsets from boot):",
+        leader.id,
+        leader.journal.len()
+    );
+    for event in &leader.journal {
+        println!("  {event}");
+    }
+    assert!(
+        !leader.journal.is_empty(),
+        "a replica that applied ops must have journaled the slot lifecycle"
+    );
+
+    // Cluster-wide metrics: per-replica snapshots merge into one view
+    // (counters sum, histograms merge bucket-wise), rendered here as the
+    // Prometheus text exposition a scrape endpoint would serve.
+    let merged = ReplicaReport::aggregate_metrics(&reports);
+    println!("\nPrometheus exposition (cluster-wide):");
+    print!("{}", merged.to_prometheus());
+    let commit = merged
+        .histogram("commit_latency_us")
+        .expect("commit latency histogram present");
+    assert!(
+        commit.count() >= 4,
+        "every ordered op records a commit latency"
+    );
+    println!(
+        "\ncommit latency: p50={}µs p99={}µs over {} ordered ops",
+        commit.p50(),
+        commit.p99(),
+        commit.count()
     );
 
     println!("\nAgreement over real TCP with typed replies and tiered reads ✓");

@@ -43,6 +43,7 @@
 //! | [`analysis`] | `probft-analysis` | Figure 5 / Figure 1 numerical models |
 //! | [`smr`] | `probft-smr` | Replicated state machine (future-work extension) |
 //! | [`runtime`] | `probft-runtime` | Thread-per-replica TCP deployment |
+//! | [`obs`] | `probft-obs` | Metrics registry, histograms, flight-recorder tracing |
 //!
 //! See `DESIGN.md` for the system inventory and per-experiment index, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -54,6 +55,7 @@ pub use probft_analysis as analysis;
 pub use probft_core as core;
 pub use probft_crypto as crypto;
 pub use probft_hotstuff as hotstuff;
+pub use probft_obs as obs;
 pub use probft_pbft as pbft;
 pub use probft_quorum as quorum;
 pub use probft_runtime as runtime;

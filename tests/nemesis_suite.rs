@@ -104,7 +104,38 @@ where
     )
 }
 
-/// Panics with the reproduction seed if the invariant sweep fails.
+/// Dumps every replica's flight-recorder journal (the probft-obs trace
+/// ring) and metrics snapshot next to the transcript, so a failing run's
+/// CI artifact carries the per-replica event timeline — phase
+/// transitions, view changes, fault markers — alongside the fault plan
+/// that caused it. Returns the journal path for the panic message.
+fn dump_flight_recorders(test: &str, seed: u64, reports: &[ReplicaReport]) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/nemesis");
+    let _ = std::fs::create_dir_all(&dir);
+    let mut journals = String::new();
+    for r in reports {
+        journals.push_str(&format!(
+            "=== replica {} flight recorder ({} events) ===\n",
+            r.id,
+            r.journal.len()
+        ));
+        for event in &r.journal {
+            journals.push_str(&format!("{event}\n"));
+        }
+    }
+    let journal_path = dir.join(format!("{test}-seed{seed}.flight.log"));
+    let _ = std::fs::write(&journal_path, journals);
+    let metrics: Vec<String> = reports.iter().map(|r| r.metrics.to_json()).collect();
+    let _ = std::fs::write(
+        dir.join(format!("{test}-seed{seed}.metrics.json")),
+        format!("[\n{}\n]\n", metrics.join(",\n")),
+    );
+    journal_path
+}
+
+/// Panics with the reproduction seed if the invariant sweep fails, after
+/// dumping every replica's flight-recorder journal and metrics snapshot
+/// to `target/nemesis/` for the CI failure artifact.
 fn sweep(
     test: &str,
     seed: u64,
@@ -121,10 +152,12 @@ fn sweep(
             .unwrap_or_default(),
     );
     if !violations.is_empty() {
+        let journals = dump_flight_recorders(test, seed, reports);
         panic!(
             "{test}: invariant sweep failed under NEMESIS_SEED={seed} \
-             (rerun: NEMESIS_SEED={seed} cargo test --test nemesis_suite {test}): \
-             {violations:#?}"
+             (rerun: NEMESIS_SEED={seed} cargo test --test nemesis_suite {test}; \
+             flight recorders: {}): {violations:#?}",
+            journals.display(),
         );
     }
 }
@@ -164,13 +197,37 @@ fn leader_kill_mid_stream_under_concurrent_load() {
     );
     sweep("leader_kill", seed, &reports, &excluded, &confirmed);
 
+    // The kill armed every survivor's recovery clock; the view change
+    // that routed around the dead leader must have cleared it — at least
+    // one replica recorded a fault→progress latency sample.
+    let recovery_samples: u64 = reports
+        .iter()
+        .map(|r| {
+            r.metrics
+                .histogram("recovery_latency_us")
+                .map_or(0, |h| h.count())
+        })
+        .sum();
+    assert!(
+        recovery_samples >= 1,
+        "leader kill recorded no recovery-latency samples across {} replicas",
+        reports.len()
+    );
+
+    // Always persist this test's flight recorders and metrics snapshots:
+    // CI uploads them per seed as the chaos run's telemetry artifact,
+    // green or red.
+    dump_flight_recorders("leader_kill", seed, &reports);
+
     // Set *and non-empty*: CI pipes the workflow-dispatch input through as
     // either "1" or "", and plain runs must not trip on the empty string.
     if std::env::var("NEMESIS_FORCE_FAIL").is_ok_and(|v| !v.is_empty()) {
+        let journals = dump_flight_recorders("leader_kill", seed, &reports);
         panic!(
             "NEMESIS_FORCE_FAIL set: failing on purpose to demonstrate \
-             artifact upload (seed {seed}, transcript {})",
-            transcript_path("leader_kill", seed).display()
+             artifact upload (seed {seed}, transcript {}, flight recorders {})",
+            transcript_path("leader_kill", seed).display(),
+            journals.display(),
         );
     }
 }
